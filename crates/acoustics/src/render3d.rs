@@ -1,0 +1,224 @@
+//! 3-D binaural rendering — forward model for the §7 "3D HRTF" extension.
+//!
+//! Mirrors [`crate::render`] one dimension up: wrap delays come from the
+//! plane-section geodesics of `uniq_geometry::elevation`, and pinna
+//! multipath gains its elevation dependence through
+//! [`PinnaModel::response_3d`].
+
+use crate::pinna::PinnaModel;
+use crate::shadow::{group_delay_samples, shadow_fir};
+use crate::types::{BinauralIr, RenderConfig};
+use uniq_dsp::conv::convolve;
+use uniq_dsp::delay::add_fractional_impulse;
+use uniq_geometry::elevation::{path_to_ear_3d, Head3, Vec3};
+use uniq_geometry::Ear;
+
+/// A subject-specific 3-D renderer.
+#[derive(Debug, Clone)]
+pub struct Renderer3 {
+    cfg: RenderConfig,
+    head: Head3,
+    pinna_left: PinnaModel,
+    pinna_right: PinnaModel,
+}
+
+impl Renderer3 {
+    /// Builds a 3-D renderer.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(
+        head: Head3,
+        pinna_left: PinnaModel,
+        pinna_right: PinnaModel,
+        cfg: RenderConfig,
+    ) -> Self {
+        cfg.validate();
+        Renderer3 {
+            cfg,
+            head,
+            pinna_left,
+            pinna_right,
+        }
+    }
+
+    /// The head model.
+    pub fn head(&self) -> &Head3 {
+        &self.head
+    }
+
+    /// The render configuration.
+    pub fn config(&self) -> &RenderConfig {
+        &self.cfg
+    }
+
+    /// Renders a point source at `src` (head frame, metres). Returns
+    /// `None` when the source is inside the head.
+    pub fn render_point(&self, src: Vec3) -> Option<BinauralIr> {
+        let mut out = BinauralIr::zeros(self.cfg.ir_len);
+        for ear in Ear::BOTH {
+            let path = path_to_ear_3d(&self.head, src, ear)?;
+            let gain = 1.0 / path.length.max(0.05);
+            let ir = self.render_arrival(src, path.length, path.wrap_angle, gain, ear);
+            match ear {
+                Ear::Left => out.left = ir,
+                Ear::Right => out.right = ir,
+            }
+        }
+        Some(out)
+    }
+
+    /// Renders a far-field plane wave from `(azimuth, elevation)` degrees.
+    pub fn render_plane(&self, theta_deg: f64, elevation_deg: f64) -> BinauralIr {
+        const FAR: f64 = 100.0;
+        let src = Vec3::from_angles(theta_deg, elevation_deg).scale(FAR);
+        let mut out = BinauralIr::zeros(self.cfg.ir_len);
+        for ear in Ear::BOTH {
+            let path = path_to_ear_3d(&self.head, src, ear)
+                .expect("far source outside the head");
+            let excess = path.length - FAR;
+            let ir = self.render_arrival(src, excess, path.wrap_angle, 1.0, ear);
+            match ear {
+                Ear::Left => out.left = ir,
+                Ear::Right => out.right = ir,
+            }
+        }
+        out
+    }
+
+    fn render_arrival(
+        &self,
+        src: Vec3,
+        path_metres: f64,
+        wrap_angle: f64,
+        gain: f64,
+        ear: Ear,
+    ) -> Vec<f64> {
+        let cfg = &self.cfg;
+        let delay = cfg.metres_to_samples(path_metres);
+
+        let mut tap = vec![0.0; cfg.ir_len];
+        match shadow_fir(wrap_angle, cfg.shadow_kappa, cfg.shadow_f0, cfg.sample_rate) {
+            None => add_fractional_impulse(&mut tap, delay, gain),
+            Some(kernel) => {
+                let pos = delay - group_delay_samples() as f64;
+                let mut imp = vec![0.0; cfg.ir_len];
+                add_fractional_impulse(&mut imp, pos.max(0.0), gain);
+                let full = convolve(&imp, &kernel);
+                tap.copy_from_slice(&full[..cfg.ir_len]);
+            }
+        }
+
+        // Local arrival angles: the horizontal component reuses the 2-D
+        // convention; elevation is the ray's angle above the horizon.
+        let horiz = uniq_geometry::Vec2::new(src.x, src.y);
+        let local_az = if horiz.norm() > 1e-9 {
+            crate::render::local_arrival_angle(-horiz.normalized(), ear)
+        } else {
+            0.0
+        };
+        let elevation = src.z.atan2(horiz.norm());
+
+        let pinna = match ear {
+            Ear::Left => &self.pinna_left,
+            Ear::Right => &self.pinna_right,
+        };
+        let pinna_ir = pinna.response_3d(
+            local_az,
+            elevation,
+            cfg.sample_rate,
+            pinna.required_len(cfg.sample_rate),
+        );
+        let full = convolve(&tap, &pinna_ir);
+        full[..cfg.ir_len].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_dsp::peaks::first_tap;
+
+    fn renderer() -> Renderer3 {
+        Renderer3::new(
+            Head3::average_adult(),
+            PinnaModel::from_seed(901),
+            PinnaModel::from_seed(902),
+            RenderConfig::default(),
+        )
+    }
+
+    #[test]
+    fn horizontal_plane_matches_2d_first_taps() {
+        // At zero elevation the 3-D renderer's interaural delay must match
+        // the 2-D renderer's (same planar head).
+        let r3 = renderer();
+        let r2 = crate::render::Renderer::new(
+            uniq_geometry::HeadBoundary::new(r3.head().planar, 2048),
+            PinnaModel::from_seed(901),
+            PinnaModel::from_seed(902),
+            RenderConfig::default(),
+        );
+        for theta in [30.0, 70.0, 120.0] {
+            let ir3 = r3.render_plane(theta, 0.0);
+            let ir2 = r2.render_plane(theta);
+            let tdoa = |ir: &BinauralIr| {
+                first_tap(&ir.right, 0.3).unwrap().position
+                    - first_tap(&ir.left, 0.3).unwrap().position
+            };
+            assert!(
+                (tdoa(&ir3) - tdoa(&ir2)).abs() < 1.0,
+                "θ={theta}: 3D TDoA {} vs 2D {}",
+                tdoa(&ir3),
+                tdoa(&ir2)
+            );
+        }
+    }
+
+    #[test]
+    fn elevation_shrinks_tdoa() {
+        let r = renderer();
+        let tdoa = |el: f64| {
+            let ir = r.render_plane(90.0, el);
+            first_tap(&ir.right, 0.3).unwrap().position
+                - first_tap(&ir.left, 0.3).unwrap().position
+        };
+        assert!(tdoa(45.0) < tdoa(0.0) - 3.0);
+        assert!(tdoa(75.0) < tdoa(45.0));
+    }
+
+    #[test]
+    fn elevation_changes_hrir_beyond_delay() {
+        // Same azimuth, different elevations: the pinna structure must
+        // differ (the cue that breaks the cone of confusion).
+        let r = renderer();
+        let a = r.render_plane(45.0, 0.0);
+        let b = r.render_plane(45.0, 50.0);
+        let (sim, _) = a.similarity(&b);
+        assert!(sim < 0.995, "elevation invisible in HRIR: {sim}");
+    }
+
+    #[test]
+    fn point_source_inside_rejected() {
+        assert!(renderer().render_point(Vec3::new(0.0, 0.02, 0.02)).is_none());
+    }
+
+    #[test]
+    fn overhead_source_balanced() {
+        let r = renderer();
+        let ir = r.render_plane(0.0, 85.0);
+        let tl = first_tap(&ir.left, 0.3).unwrap().position;
+        let tr = first_tap(&ir.right, 0.3).unwrap().position;
+        assert!((tl - tr).abs() < 1.0, "overhead TDoA {}", tl - tr);
+    }
+
+    #[test]
+    fn near_point_source_renders() {
+        let r = renderer();
+        let ir = r
+            .render_point(Vec3::new(-0.3, 0.1, 0.2))
+            .expect("outside the head");
+        let e: f64 = ir.left.iter().map(|v| v * v).sum();
+        assert!(e.is_finite() && e > 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Stochastic test signals: the unknown-source categories of Fig 22.
+//!
+//! The AoA evaluation plays three kinds of "unknown" sources at the
+//! listener: white noise (full band), music (harmonic-rich, broadband) and
+//! speech (energy concentrated at low/base frequencies — which is exactly
+//! why the paper finds speech the hardest category). All generators are
+//! seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+use uniq_dsp::filter::Biquad;
+use uniq_dsp::signal::normalize_peak;
+
+/// The unknown-source signal categories evaluated in Fig 22.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Spectrally flat noise.
+    WhiteNoise,
+    /// Synthetic music: chords of harmonics with note changes.
+    Music,
+    /// Synthetic speech: pitched harmonics under moving formants plus
+    /// unvoiced bursts, dominated by low frequencies.
+    Speech,
+}
+
+impl SignalKind {
+    /// All categories, in the paper's presentation order.
+    pub const ALL: [SignalKind; 3] = [
+        SignalKind::WhiteNoise,
+        SignalKind::Music,
+        SignalKind::Speech,
+    ];
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SignalKind::WhiteNoise => "white noise",
+            SignalKind::Music => "music",
+            SignalKind::Speech => "speech",
+        }
+    }
+}
+
+/// Generates `duration` seconds of the given signal kind at `sample_rate`,
+/// peak-normalized to 1.0.
+pub fn generate(kind: SignalKind, duration: f64, sample_rate: f64, seed: u64) -> Vec<f64> {
+    let n = (duration * sample_rate).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sig = match kind {
+        SignalKind::WhiteNoise => white_noise(n, &mut rng),
+        SignalKind::Music => music(n, sample_rate, &mut rng),
+        SignalKind::Speech => speech(n, sample_rate, &mut rng),
+    };
+    normalize_peak(&mut sig, 1.0);
+    sig
+}
+
+/// Uniform white noise in `(-1, 1)`.
+pub fn white_noise(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Synthetic music: a progression of 3-note chords, each note a stack of
+/// decaying harmonics with slight detuning, at ~2.5 notes per second.
+fn music(n: usize, sample_rate: f64, rng: &mut StdRng) -> Vec<f64> {
+    // Pentatonic-ish pitch set (hertz).
+    const PITCHES: [f64; 8] = [220.0, 261.6, 293.7, 329.6, 392.0, 440.0, 523.3, 587.3];
+    let note_len = (0.4 * sample_rate) as usize;
+    let mut out = vec![0.0; n];
+    let mut start = 0;
+    while start < n {
+        let end = (start + note_len).min(n);
+        // A chord of three random pitches.
+        let chord: Vec<f64> = (0..3)
+            .map(|_| PITCHES[rng.gen_range(0..PITCHES.len())])
+            .collect();
+        let detune: Vec<f64> = chord.iter().map(|_| rng.gen_range(-2.0..2.0)).collect();
+        for (k, out_s) in out[start..end].iter_mut().enumerate() {
+            let t = k as f64 / sample_rate;
+            // Attack/decay envelope within the note.
+            let frac = k as f64 / note_len as f64;
+            let env = (frac * 25.0).min(1.0) * (-2.5 * frac).exp();
+            let mut v = 0.0;
+            for (f0, dt) in chord.iter().zip(&detune) {
+                // Bright timbre: many harmonics with slow (1/√h) rolloff so
+                // the spectrum stays broadband (unlike speech).
+                for h in 1..=12u32 {
+                    let f = (f0 + dt) * h as f64;
+                    if f < sample_rate / 2.0 {
+                        v += (TAU * f * t).sin() / (h as f64).sqrt();
+                    }
+                }
+            }
+            *out_s += env * v;
+        }
+        start = end;
+    }
+    out
+}
+
+/// Synthetic speech: ~120 Hz pitch train shaped by two slowly moving
+/// formants, interleaved with weak unvoiced (noise-burst) segments —
+/// spectral energy concentrated below ~3 kHz.
+fn speech(n: usize, sample_rate: f64, rng: &mut StdRng) -> Vec<f64> {
+    let seg_len = (0.15 * sample_rate) as usize;
+    let mut out = vec![0.0; n];
+    let mut start = 0;
+    while start < n {
+        let end = (start + seg_len).min(n);
+        let voiced = rng.gen_bool(0.75);
+        if voiced {
+            let pitch = rng.gen_range(100.0..160.0);
+            let f1 = rng.gen_range(300.0..900.0);
+            let f2 = rng.gen_range(900.0..2500.0);
+            let raw: Vec<f64> = (0..end - start)
+                .map(|k| {
+                    let t = k as f64 / sample_rate;
+                    let mut v = 0.0;
+                    for h in 1..=20u32 {
+                        let f = pitch * h as f64;
+                        if f < sample_rate / 2.0 {
+                            // Harmonic amplitudes shaped by distance to the
+                            // two formants (crude source-filter model).
+                            let w1 = 1.0 / (1.0 + ((f - f1) / 200.0).powi(2));
+                            let w2 = 0.6 / (1.0 + ((f - f2) / 300.0).powi(2));
+                            v += (w1 + w2) * (TAU * f * t).sin();
+                        }
+                    }
+                    v
+                })
+                .collect();
+            let env_len = end - start;
+            for (k, (o, r)) in out[start..end].iter_mut().zip(&raw).enumerate() {
+                let frac = k as f64 / env_len as f64;
+                let env = (frac * 12.0).min(1.0) * (1.0 - frac).max(0.0).powf(0.3);
+                *o = env * r;
+            }
+        } else {
+            // Unvoiced burst: band-passed noise, quieter.
+            let noise: Vec<f64> = (0..end - start).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let bp = Biquad::bandpass(2500.0, 1.0, sample_rate);
+            let shaped = bp.filter(&noise);
+            for (o, s) in out[start..end].iter_mut().zip(&shaped) {
+                *o = 0.25 * s;
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_dsp::spectrum::magnitude_spectrum;
+
+    const SR: f64 = 16_000.0;
+
+    /// Fraction of one-sided spectral energy below `cutoff_hz`.
+    fn low_fraction(sig: &[f64], cutoff_hz: f64) -> f64 {
+        let (freqs, mags) = magnitude_spectrum(sig, SR);
+        let total: f64 = mags.iter().map(|m| m * m).sum();
+        let low: f64 = freqs
+            .iter()
+            .zip(&mags)
+            .filter(|(f, _)| **f < cutoff_hz)
+            .map(|(_, m)| m * m)
+            .sum();
+        low / total
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for kind in SignalKind::ALL {
+            let a = generate(kind, 0.2, SR, 42);
+            let b = generate(kind, 0.2, SR, 42);
+            assert_eq!(a, b, "{kind:?} not reproducible");
+            let c = generate(kind, 0.2, SR, 43);
+            assert_ne!(a, c, "{kind:?} ignores seed");
+        }
+    }
+
+    #[test]
+    fn lengths_and_normalization() {
+        for kind in SignalKind::ALL {
+            let s = generate(kind, 0.25, SR, 7);
+            assert_eq!(s.len(), 4000);
+            let peak = s.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+            assert!((peak - 1.0).abs() < 1e-9, "{kind:?} peak {peak}");
+        }
+    }
+
+    #[test]
+    fn speech_is_low_frequency_dominated() {
+        // The paper's explanation for Fig 22: speech concentrates energy at
+        // base/harmonic frequencies, revealing less of the channel.
+        let speech = generate(SignalKind::Speech, 1.0, SR, 1);
+        let noise = generate(SignalKind::WhiteNoise, 1.0, SR, 1);
+        let s_low = low_fraction(&speech, 3000.0);
+        let n_low = low_fraction(&noise, 3000.0);
+        assert!(s_low > 0.9, "speech low fraction {s_low}");
+        assert!(n_low < 0.6, "noise low fraction {n_low}");
+    }
+
+    #[test]
+    fn music_broader_than_speech() {
+        let music = generate(SignalKind::Music, 1.0, SR, 2);
+        let speech = generate(SignalKind::Speech, 1.0, SR, 2);
+        assert!(
+            low_fraction(&music, 2000.0) < low_fraction(&speech, 2000.0),
+            "music {} vs speech {}",
+            low_fraction(&music, 2000.0),
+            low_fraction(&speech, 2000.0)
+        );
+    }
+
+    #[test]
+    fn white_noise_flat_ish() {
+        let noise = generate(SignalKind::WhiteNoise, 2.0, SR, 3);
+        // Energy in 0–4 kHz vs 4–8 kHz should be within 20 %.
+        let lo = low_fraction(&noise, 4000.0);
+        assert!((lo - 0.5).abs() < 0.1, "noise lopsided: {lo}");
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = SignalKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cohort runner: personalizes each of the five evaluation volunteers once
+//! and caches the results for all downstream experiments (Figs 17–22).
+
+use uniq_core::config::UniqConfig;
+use uniq_core::pipeline::{personalize_with_retry, PersonalizationResult};
+use uniq_subjects::{evaluation_cohort, Subject};
+
+/// One volunteer's personalization run plus the subject itself.
+pub struct VolunteerRun {
+    /// The synthetic volunteer.
+    pub subject: Subject,
+    /// The pipeline output.
+    pub result: PersonalizationResult,
+}
+
+/// The evaluation configuration used by all figure experiments: the
+/// paper's protocol — reverberant room, default SNR, 1° output grid.
+pub fn eval_config() -> UniqConfig {
+    UniqConfig {
+        in_room: true,
+        grid_step_deg: 1.0,
+        ..UniqConfig::default()
+    }
+}
+
+/// Personalizes the whole cohort (with the §4.6 retry loop) and returns
+/// the cached runs. Deterministic.
+pub fn run_cohort(cfg: &UniqConfig) -> Vec<VolunteerRun> {
+    evaluation_cohort()
+        .into_iter()
+        .enumerate()
+        .map(|(k, subject)| {
+            let result = personalize_with_retry(&subject, cfg, 5000 + k as u64, 3)
+                .unwrap_or_else(|e| panic!("volunteer {} failed to personalize: {e}", k + 1));
+            VolunteerRun { subject, result }
+        })
+        .collect()
+}

@@ -1,0 +1,49 @@
+//! Minimal CSV output (no external dependency).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes rows of `f64` cells with a header line to
+/// `bench_results/<name>.csv`, creating the directory if needed.
+///
+/// # Panics
+/// Panics on I/O errors (experiments are developer tooling) or if a row's
+/// width disagrees with the header.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) {
+    let dir = Path::new(crate::RESULTS_DIR);
+    fs::create_dir_all(dir).expect("create bench_results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv file");
+    writeln!(file, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch in {name}");
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(file, "{}", line.join(",")).expect("write row");
+    }
+    println!("  → wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_shapes() {
+        write_csv(
+            "unit_test_artifact",
+            &["a", "b"],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        let content =
+            std::fs::read_to_string("bench_results/unit_test_artifact.csv").unwrap();
+        assert!(content.starts_with("a,b\n1,2\n3,4\n"));
+        std::fs::remove_file("bench_results/unit_test_artifact.csv").ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        write_csv("unit_test_bad", &["a", "b"], &[vec![1.0]]);
+    }
+}

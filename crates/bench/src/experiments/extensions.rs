@@ -1,0 +1,141 @@
+//! Experiments for the §7 extensions built beyond the paper's prototype.
+
+use crate::csv::write_csv;
+use uniq_dsp::stats::median;
+use uniq_geometry::elevation::{plane_itd_3d, Head3};
+use uniq_geometry::vec2::angle_diff_deg;
+
+/// Elevation sweep: far-field ITD (in samples at 48 kHz) over a grid of
+/// (azimuth, elevation) — the data a 3-D fusion would invert, showing the
+/// cone-of-confusion flattening with elevation.
+pub fn elevation_itd() -> Vec<Vec<f64>> {
+    println!("\n== extension: 3-D elevation ITD map (§7 \"3D HRTF\") ==");
+    let head = Head3::average_adult();
+    let sr = 48_000.0;
+    let c = uniq_dsp::SPEED_OF_SOUND;
+    let mut rows = Vec::new();
+    println!("  azimuth   el=0°    el=30°   el=60°  (ITD in samples)");
+    for az in (0..=180).step_by(30) {
+        let mut row = vec![az as f64];
+        for el in [0.0, 30.0, 60.0] {
+            let itd = plane_itd_3d(&head, az as f64, el) / c * sr;
+            row.push(itd);
+        }
+        println!(
+            "  {:>7}   {:>6.1}   {:>6.1}   {:>6.1}",
+            az, row[1], row[2], row[3]
+        );
+        rows.push(row);
+    }
+    write_csv(
+        "extension_elevation_itd",
+        &["azimuth_deg", "itd_el0", "itd_el30", "itd_el60"],
+        &rows,
+    );
+    rows
+}
+
+/// 3-D spherical-gesture localization (§7): serpentine gesture over three
+/// elevation rings → two-axis IMU + acoustic fusion → azimuth/elevation
+/// accuracy and the fitted four-parameter head. Returns
+/// `(azimuth_median_deg, elevation_median_deg)`.
+pub fn spherical_localization() -> (f64, f64) {
+    println!("\n== extension: 3-D spherical-gesture fusion (§7) ==");
+    use uniq_core::fusion3d::{fuse_3d, run_session_3d, FusionInput3};
+    let cfg = uniq_core::config::UniqConfig {
+        in_room: false,
+        ..crate::cohort::eval_config()
+    };
+
+    let mut az_err = Vec::new();
+    let mut el_err = Vec::new();
+    let mut rows = Vec::new();
+    for v in 0..3u64 {
+        let subject = uniq_subjects::Subject::from_seed(1000 + v);
+        let stops = run_session_3d(&subject, &cfg, 6, 40_000 + v).expect("session");
+        let inputs: Vec<FusionInput3> = stops.iter().map(|s| s.input).collect();
+        let fusion = fuse_3d(&inputs).expect("3-D fusion");
+        for (stop, loc) in stops.iter().zip(&fusion.stops) {
+            if !loc.radius_m.is_finite() {
+                continue;
+            }
+            let ae = angle_diff_deg(loc.theta_deg, stop.truth_theta_deg);
+            let ee = (loc.elevation_deg - stop.truth_elevation_deg).abs();
+            az_err.push(ae);
+            el_err.push(ee);
+            rows.push(vec![
+                v as f64 + 1.0,
+                stop.truth_theta_deg,
+                stop.truth_elevation_deg,
+                loc.theta_deg,
+                loc.elevation_deg,
+            ]);
+        }
+    }
+    let (am, em) = (median(&az_err), median(&el_err));
+    println!(
+        "  {} stops: azimuth median {am:.2}°, elevation median {em:.2}° (90th pct {:.1}° / {:.1}°)",
+        az_err.len(),
+        uniq_dsp::stats::percentile(&az_err, 90.0),
+        uniq_dsp::stats::percentile(&el_err, 90.0)
+    );
+    write_csv(
+        "extension_3d_localization",
+        &["volunteer", "truth_az", "truth_el", "est_az", "est_el"],
+        &rows,
+    );
+    (am, em)
+}
+
+/// Externalization proxies across the cohort (§7): rendered-vs-real ear
+/// signals compared for the personalized table and the global template.
+/// Returns `(personal_mean, global_mean)` proxy scores.
+pub fn externalization_proxy() -> (f64, f64) {
+    println!("\n== extension: externalization proxy (§7) ==");
+    let cohort = super::cohort();
+    let cfg = crate::cohort::eval_config();
+    let global_bank = uniq_subjects::global_template(cfg.render, &cfg.output_grid());
+    let sig =
+        uniq_dsp::signal::linear_chirp(200.0, 14_000.0, 0.1, cfg.render.sample_rate);
+
+    let mut personal = Vec::new();
+    let mut global = Vec::new();
+    for run in cohort {
+        let renderer = run
+            .subject
+            .renderer(cfg.render, uniq_subjects::FORWARD_RESOLUTION);
+        for theta in [30.0, 75.0, 120.0, 160.0] {
+            // What a real far source would produce at the eardrums.
+            let truth_ir = renderer.render_plane(theta);
+            let reference = uniq_core::hrtf::BinauralSignal {
+                left: uniq_dsp::conv::convolve(&sig, &truth_ir.left),
+                right: uniq_dsp::conv::convolve(&sig, &truth_ir.right),
+            };
+            let rendered_p = run.result.hrtf.synthesize(&sig, theta, true);
+            let rendered_g = {
+                let (ir, _) = global_bank.nearest(theta);
+                uniq_core::hrtf::BinauralSignal {
+                    left: uniq_dsp::conv::convolve(&sig, &ir.left),
+                    right: uniq_dsp::conv::convolve(&sig, &ir.right),
+                }
+            };
+            personal.push(
+                uniq_render::metrics::compare(&rendered_p, &reference, cfg.render.sample_rate)
+                    .externalization_proxy(),
+            );
+            global.push(
+                uniq_render::metrics::compare(&rendered_g, &reference, cfg.render.sample_rate)
+                    .externalization_proxy(),
+            );
+        }
+    }
+    let p = uniq_dsp::stats::mean(&personal);
+    let g = uniq_dsp::stats::mean(&global);
+    println!("  mean externalization proxy: personalized {p:.3} vs global {g:.3}");
+    write_csv(
+        "extension_externalization",
+        &["personal_mean", "global_mean"],
+        &[vec![p, g]],
+    );
+    (p, g)
+}

@@ -1,0 +1,31 @@
+//! Fig 16 — the speaker–microphone frequency response: unstable below
+//! 50 Hz, usable over 100 Hz–10 kHz.
+
+use crate::csv::write_csv;
+use uniq_acoustics::system::SystemResponse;
+
+/// Runs the experiment; returns `(freqs_hz, response_db)`.
+pub fn run() -> (Vec<f64>, Vec<f64>) {
+    println!("\n== Fig 16: speaker–microphone frequency response ==");
+    let cfg = crate::cohort::eval_config();
+    let sys = SystemResponse::budget_hardware(cfg.render.sample_rate);
+
+    // Log-spaced sweep 20 Hz – 22 kHz.
+    let n = 120;
+    let (f0, f1) = (20.0_f64, 22_000.0_f64);
+    let freqs: Vec<f64> = (0..n)
+        .map(|k| f0 * (f1 / f0).powf(k as f64 / (n - 1) as f64))
+        .collect();
+    let db: Vec<f64> = freqs.iter().map(|&f| sys.magnitude_db(f)).collect();
+
+    for (f, d) in [(30.0, None), (100.0, None), (1000.0, None), (10_000.0, None)]
+        .iter()
+        .map(|(f, _): &(f64, Option<()>)| (*f, sys.magnitude_db(*f)))
+    {
+        println!("  {f:>8.0} Hz: {d:>7.1} dB");
+    }
+
+    let rows: Vec<Vec<f64>> = freqs.iter().zip(&db).map(|(f, d)| vec![*f, *d]).collect();
+    write_csv("fig16_system_response", &["freq_hz", "magnitude_db"], &rows);
+    (freqs, db)
+}

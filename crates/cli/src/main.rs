@@ -1,0 +1,22 @@
+//! The `uniq` command-line binary. See [`uniq_cli`] for the interface.
+
+use uniq_cli::args::Args;
+use uniq_cli::commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(&raw, &["anechoic", "near"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! HRTF-aware binaural beamforming — the hearing-aid scenario of §4.5:
+//! *"earphones could serve as hearing aids, and beamform in the direction
+//! of a desired speech signal; thus, Alice and Bob could listen to each
+//! other more clearly by wearing headphones in a noisy bar."*
+//!
+//! With only two microphones buried behind head diffraction and pinna
+//! multipath, classical free-field beamformers fail; the HRTF itself is
+//! the correct steering model. We implement an HRTF-matched-filter
+//! beamformer: each ear is filtered with the time-reversed personalized
+//! HRIR for the look direction (which simultaneously aligns the
+//! interaural delay and equalizes the pinna comb), then the ears are
+//! summed. Signals from the look direction add coherently; interferers
+//! from elsewhere add with mismatched phase and are suppressed.
+
+use uniq_acoustics::measure::BinauralRecording;
+use uniq_acoustics::types::HrirBank;
+use uniq_dsp::conv::convolve;
+
+/// Output of a beamforming pass.
+#[derive(Debug, Clone)]
+pub struct BeamformOutput {
+    /// The enhanced (look-direction) signal.
+    pub enhanced: Vec<f64>,
+}
+
+/// Steers a binaural recording toward `theta_deg` using the given HRTF
+/// template bank: matched-filter each ear with its look-direction HRIR
+/// and sum.
+pub fn beamform(
+    recording: &BinauralRecording,
+    bank: &HrirBank,
+    theta_deg: f64,
+) -> BeamformOutput {
+    let (ir, _) = bank.nearest(theta_deg);
+    let mf_left: Vec<f64> = ir.left.iter().rev().copied().collect();
+    let mf_right: Vec<f64> = ir.right.iter().rev().copied().collect();
+    // Normalize each matched filter by its ear's HRIR energy so a strong
+    // near-ear channel does not dominate the sum.
+    let norm = |taps: &[f64]| -> f64 {
+        let e: f64 = taps.iter().map(|v| v * v).sum();
+        if e > 0.0 {
+            1.0 / e.sqrt()
+        } else {
+            0.0
+        }
+    };
+    let gl = norm(&mf_left);
+    let gr = norm(&mf_right);
+    let l = convolve(&recording.left, &mf_left);
+    let r = convolve(&recording.right, &mf_right);
+    let n = l.len().max(r.len());
+    let mut enhanced = vec![0.0; n];
+    for (dst, v) in enhanced.iter_mut().zip(&l) {
+        *dst += gl * v;
+    }
+    for (dst, v) in enhanced.iter_mut().zip(&r) {
+        *dst += gr * v;
+    }
+    BeamformOutput { enhanced }
+}
+
+/// Array gain of the beamformer for a unit plane wave: the output energy
+/// when steered *at* the source direction divided by the output energy
+/// when steered `off_deg` away. Values well above 1 mean real spatial
+/// selectivity.
+pub fn steering_contrast(
+    recording: &BinauralRecording,
+    bank: &HrirBank,
+    source_theta_deg: f64,
+    off_deg: f64,
+) -> f64 {
+    let on = beamform(recording, bank, source_theta_deg);
+    let off = beamform(recording, bank, source_theta_deg + off_deg);
+    let e = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().max(1e-30);
+    e(&on.enhanced) / e(&off.enhanced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_acoustics::measure::{record_plane_wave, MeasurementSetup};
+    use uniq_acoustics::signals::{generate, SignalKind};
+    use uniq_core_test_support::*;
+
+    /// Local test fixtures (named module to keep intent clear).
+    mod uniq_core_test_support {
+        pub use crate::config::UniqConfig;
+        pub use uniq_subjects::Subject;
+    }
+
+    fn setup() -> (
+        UniqConfig,
+        uniq_acoustics::render::Renderer,
+        uniq_acoustics::types::HrirBank,
+    ) {
+        let cfg = UniqConfig {
+            grid_step_deg: 5.0,
+            ..UniqConfig::fast_test()
+        };
+        let subject = Subject::from_seed(610);
+        let renderer = subject.renderer(cfg.render, 1024);
+        let bank = renderer.ground_truth_bank(&cfg.output_grid());
+        (cfg, renderer, bank)
+    }
+
+    #[test]
+    fn steering_at_source_beats_steering_away() {
+        let (cfg, renderer, bank) = setup();
+        let ms = MeasurementSetup::anechoic(cfg.render.sample_rate, 50.0);
+        let sig = generate(SignalKind::WhiteNoise, 0.2, cfg.render.sample_rate, 1);
+        let rec = record_plane_wave(&renderer, &ms, 60.0, &sig, 2);
+        let contrast = steering_contrast(&rec, &bank, 60.0, 60.0);
+        assert!(contrast > 1.2, "no spatial selectivity: {contrast}");
+    }
+
+    #[test]
+    fn two_speaker_separation() {
+        // Alice at 30°, Bob (interferer) at 130°: steering at Alice should
+        // raise her power relative to Bob's compared with no beamforming.
+        let (cfg, renderer, bank) = setup();
+        let ms = MeasurementSetup::anechoic(cfg.render.sample_rate, 60.0);
+        let sr = cfg.render.sample_rate;
+        let alice = generate(SignalKind::Speech, 0.3, sr, 10);
+        let bob = generate(SignalKind::Speech, 0.3, sr, 20);
+
+        let rec_alice = record_plane_wave(&renderer, &ms, 30.0, &alice, 3);
+        let rec_bob = record_plane_wave(&renderer, &ms, 130.0, &bob, 4);
+
+        let e = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        // Input SIR at the ears (mixture is linear; compute per-source).
+        let in_sir = (e(&rec_alice.left) + e(&rec_alice.right))
+            / (e(&rec_bob.left) + e(&rec_bob.right));
+        // Output SIR after steering at Alice.
+        let out_alice = beamform(&rec_alice, &bank, 30.0);
+        let out_bob = beamform(&rec_bob, &bank, 30.0);
+        let out_sir = e(&out_alice.enhanced) / e(&out_bob.enhanced);
+        assert!(
+            out_sir > in_sir,
+            "beamformer did not improve SIR: {out_sir:.3} vs {in_sir:.3}"
+        );
+    }
+
+    #[test]
+    fn enhanced_output_nonempty_and_finite() {
+        let (cfg, renderer, bank) = setup();
+        let ms = MeasurementSetup::anechoic(cfg.render.sample_rate, 40.0);
+        let sig = generate(SignalKind::Music, 0.1, cfg.render.sample_rate, 30);
+        let rec = record_plane_wave(&renderer, &ms, 90.0, &sig, 5);
+        let out = beamform(&rec, &bank, 90.0);
+        assert!(!out.enhanced.is_empty());
+        assert!(out.enhanced.iter().all(|v| v.is_finite()));
+    }
+}

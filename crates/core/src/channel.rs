@@ -1,0 +1,227 @@
+//! Channel estimation from binaural recordings.
+//!
+//! Recovers the acoustic channel (the raw HRIR plus room taps) from what
+//! the earphones recorded, then applies UNIQ's two §4.6 pre-processing
+//! steps: system-response compensation and room-echo time gating. The
+//! result carries the sub-sample first-tap positions that drive the
+//! sensor-fusion geometry (Fig 9: "we are interested only in the first
+//! peaks at the two ears").
+
+use crate::config::UniqConfig;
+use uniq_acoustics::measure::BinauralRecording;
+use uniq_acoustics::types::BinauralIr;
+use uniq_dsp::deconv::wiener_deconvolve;
+use uniq_dsp::peaks::{first_tap, truncate_after};
+
+/// An estimated, cleaned binaural channel.
+#[derive(Debug, Clone)]
+pub struct EstimatedChannel {
+    /// The gated (room-echo-free) binaural impulse response.
+    pub ir: BinauralIr,
+    /// Sub-sample first-tap position of the left channel, samples.
+    pub tap_left: f64,
+    /// Sub-sample first-tap position of the right channel, samples.
+    pub tap_right: f64,
+}
+
+impl EstimatedChannel {
+    /// Relative first-tap delay (right minus left), samples — the Δt of
+    /// Eq. 1.
+    pub fn relative_delay(&self) -> f64 {
+        self.tap_right - self.tap_left
+    }
+
+    /// Converts a first-tap position to a propagation path length in
+    /// metres, removing the known synchronization base delay.
+    pub fn tap_to_metres(tap_samples: f64, cfg: &UniqConfig) -> f64 {
+        (tap_samples / cfg.render.sample_rate - cfg.render.base_delay)
+            * cfg.render.speed_of_sound
+    }
+}
+
+/// Errors from channel estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// No tap rose above the detection threshold in one or both ears.
+    NoFirstTap,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::NoFirstTap => write!(f, "no detectable first tap in the channel"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Estimates the binaural channel from a recording of `probe`.
+///
+/// Steps: Wiener deconvolution per ear → system-response compensation
+/// (using `system_ir` from calibration) → first-tap detection → room-echo
+/// gating `room_gate_s` after the earlier first tap.
+pub fn estimate_channel(
+    recording: &BinauralRecording,
+    probe: &[f64],
+    system_ir: &[f64],
+    cfg: &UniqConfig,
+) -> Result<EstimatedChannel, ChannelError> {
+    let raw_left = wiener_deconvolve(
+        &recording.left,
+        probe,
+        cfg.deconv_noise_floor,
+        cfg.channel_len,
+    );
+    let raw_right = wiener_deconvolve(
+        &recording.right,
+        probe,
+        cfg.deconv_noise_floor,
+        cfg.channel_len,
+    );
+
+    let comp_left =
+        uniq_acoustics::system::compensate_response(&raw_left, system_ir, cfg.deconv_noise_floor);
+    let comp_right =
+        uniq_acoustics::system::compensate_response(&raw_right, system_ir, cfg.deconv_noise_floor);
+
+    let tl = first_tap(&comp_left, cfg.tap_threshold).ok_or(ChannelError::NoFirstTap)?;
+    let tr = first_tap(&comp_right, cfg.tap_threshold).ok_or(ChannelError::NoFirstTap)?;
+
+    // Gate room reflections: keep `room_gate_s` after the earlier tap.
+    let gate = (tl.position.min(tr.position)
+        + cfg.room_gate_s * cfg.render.sample_rate)
+        .ceil() as usize;
+    let mut left = comp_left;
+    let mut right = comp_right;
+    let gate_l = gate.min(left.len());
+    truncate_after(&mut left, gate_l);
+    let gate_r = gate.min(right.len());
+    truncate_after(&mut right, gate_r);
+
+    Ok(EstimatedChannel {
+        ir: BinauralIr::new(left, right),
+        tap_left: tl.position,
+        tap_right: tr.position,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_acoustics::measure::{record_point_source, MeasurementSetup};
+    use uniq_acoustics::pinna::PinnaModel;
+    use uniq_acoustics::render::Renderer;
+    use uniq_acoustics::system::SystemResponse;
+    use uniq_geometry::diffraction::path_to_ear;
+    use uniq_geometry::{Ear, HeadBoundary, HeadParams, Vec2};
+
+    fn cfg() -> UniqConfig {
+        UniqConfig::fast_test()
+    }
+
+    fn renderer(c: &UniqConfig) -> Renderer {
+        Renderer::new(
+            HeadBoundary::new(HeadParams::average_adult(), 1024),
+            PinnaModel::from_seed(31),
+            PinnaModel::from_seed(32),
+            c.render,
+        )
+    }
+
+    fn calibrated_system(c: &UniqConfig) -> (MeasurementSetup, Vec<f64>) {
+        let setup = MeasurementSetup::anechoic(c.render.sample_rate, c.snr_db);
+        let sys_ir = setup.system.calibrate(&c.probe(), 256);
+        (setup, sys_ir)
+    }
+
+    #[test]
+    fn recovers_geometric_taps() {
+        let c = cfg();
+        let r = renderer(&c);
+        let (setup, sys_ir) = calibrated_system(&c);
+        let src = Vec2::new(-0.4, 0.15);
+        let rec = record_point_source(&r, &setup, src, &c.probe(), 1).unwrap();
+        let est = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap();
+
+        let pl = path_to_ear(r.boundary(), src, Ear::Left).unwrap();
+        let pr = path_to_ear(r.boundary(), src, Ear::Right).unwrap();
+        let expect_l = c.render.metres_to_samples(pl.length);
+        let expect_r = c.render.metres_to_samples(pr.length);
+        assert!(
+            (est.tap_left - expect_l).abs() < 2.0,
+            "left tap {} vs {expect_l}",
+            est.tap_left
+        );
+        assert!(
+            (est.tap_right - expect_r).abs() < 2.0,
+            "right tap {} vs {expect_r}",
+            est.tap_right
+        );
+    }
+
+    #[test]
+    fn relative_delay_sign_follows_side() {
+        let c = cfg();
+        let r = renderer(&c);
+        let (setup, sys_ir) = calibrated_system(&c);
+        // Source on the left → right tap later → positive relative delay.
+        let rec =
+            record_point_source(&r, &setup, Vec2::new(-0.45, 0.0), &c.probe(), 2).unwrap();
+        let est = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap();
+        assert!(est.relative_delay() > 5.0, "Δt = {}", est.relative_delay());
+    }
+
+    #[test]
+    fn room_echoes_are_gated_out() {
+        let c = cfg();
+        let r = renderer(&c);
+        let setup = MeasurementSetup::home(c.render.sample_rate, c.snr_db);
+        let sys_ir = setup.system.calibrate(&c.probe(), 256);
+        let src = Vec2::new(-0.4, 0.1);
+        let rec = record_point_source(&r, &setup, src, &c.probe(), 3).unwrap();
+        let est = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap();
+
+        // Everything after the gate must be zero.
+        let gate = (est.tap_left.min(est.tap_right)
+            + c.room_gate_s * c.render.sample_rate) as usize;
+        let tail: f64 = est.ir.left[gate + 1..].iter().map(|v| v * v).sum();
+        assert_eq!(tail, 0.0);
+
+        // And the gated channel should match the anechoic channel's taps.
+        let dry_setup = MeasurementSetup::anechoic(c.render.sample_rate, 80.0);
+        let dry_sys = dry_setup.system.calibrate(&c.probe(), 256);
+        let dry_rec = record_point_source(&r, &dry_setup, src, &c.probe(), 4).unwrap();
+        let dry = estimate_channel(&dry_rec, &c.probe(), &dry_sys, &c).unwrap();
+        assert!(
+            (est.tap_left - dry.tap_left).abs() < 1.0,
+            "room shifted the first tap: {} vs {}",
+            est.tap_left,
+            dry.tap_left
+        );
+    }
+
+    #[test]
+    fn tap_to_metres_roundtrip() {
+        let c = cfg();
+        // A tap at base_delay + 1 ms of flight = 0.343 m.
+        let tap = (c.render.base_delay + 0.001) * c.render.sample_rate;
+        let m = EstimatedChannel::tap_to_metres(tap, &c);
+        assert!((m - 0.343).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silent_recording_fails_cleanly() {
+        let c = cfg();
+        let rec = BinauralRecording {
+            left: vec![0.0; 4096],
+            right: vec![0.0; 4096],
+        };
+        let sys_ir = {
+            let setup = MeasurementSetup::anechoic(c.render.sample_rate, c.snr_db);
+            setup.system.calibrate(&c.probe(), 256)
+        };
+        let err = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap_err();
+        assert_eq!(err, ChannelError::NoFirstTap);
+    }
+}

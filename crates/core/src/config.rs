@@ -1,0 +1,174 @@
+//! Pipeline configuration.
+
+use uniq_acoustics::types::RenderConfig;
+use uniq_imu::GyroModel;
+
+/// Every knob of the UNIQ pipeline, with the defaults used by the paper's
+/// evaluation reproduction.
+#[derive(Debug, Clone)]
+pub struct UniqConfig {
+    /// Shared audio/render configuration (sample rate, base delay, …).
+    pub render: RenderConfig,
+    /// Probe chirp start frequency, hertz.
+    pub probe_f0: f64,
+    /// Probe chirp end frequency, hertz.
+    pub probe_f1: f64,
+    /// Probe chirp duration, seconds.
+    pub probe_duration: f64,
+    /// Number of discrete measurement stops along the gesture.
+    pub stops: usize,
+    /// Microphone SNR during measurement, dB.
+    pub snr_db: f64,
+    /// Whether measurements happen in a reverberant room (vs anechoic).
+    pub in_room: bool,
+    /// Wiener regularization (fraction of peak probe spectral power).
+    pub deconv_noise_floor: f64,
+    /// Length of estimated channel impulse responses, samples.
+    pub channel_len: usize,
+    /// First-tap detection threshold (fraction of the channel peak).
+    pub tap_threshold: f64,
+    /// Room-echo gate: keep this many seconds after the first tap (§4.6).
+    pub room_gate_s: f64,
+    /// Boundary discretization used by the inverse solver.
+    pub inverse_resolution: usize,
+    /// Far-field/near-field output grid step, degrees.
+    pub grid_step_deg: f64,
+    /// Gesture auto-correction: reject when the estimated phone radius
+    /// drops below this many metres (§4.6 "phone too close").
+    pub min_radius_m: f64,
+    /// Gesture auto-correction: reject when the mean fusion residual
+    /// `|α − θ(E)|` exceeds this many degrees (§4.6 "error too large").
+    pub max_fusion_residual_deg: f64,
+    /// AoA matching weight λ (Eq. 9); trainable via `aoa::train_lambda`.
+    pub aoa_lambda: f64,
+    /// Gyroscope error model used when simulating the measurement session.
+    pub gyro: GyroModel,
+}
+
+impl Default for UniqConfig {
+    fn default() -> Self {
+        UniqConfig {
+            render: RenderConfig::default(),
+            probe_f0: 100.0,
+            probe_f1: 20_000.0,
+            probe_duration: 0.05,
+            stops: 19, // every ~10° over the 0–180° sweep
+            snr_db: 35.0,
+            in_room: true,
+            deconv_noise_floor: 1e-3,
+            channel_len: 512,
+            tap_threshold: 0.35,
+            room_gate_s: 0.003,
+            inverse_resolution: 1024,
+            grid_step_deg: 1.0,
+            min_radius_m: 0.18,
+            max_fusion_residual_deg: 12.0,
+            aoa_lambda: 0.15,
+            gyro: GyroModel::consumer_phone(),
+        }
+    }
+}
+
+impl UniqConfig {
+    /// A cheaper configuration for unit tests: lower boundary resolution
+    /// and fewer stops. Experiments should use the default.
+    pub fn fast_test() -> Self {
+        UniqConfig {
+            inverse_resolution: 256,
+            stops: 10,
+            probe_duration: 0.03,
+            ..Default::default()
+        }
+    }
+
+    /// The probe chirp this configuration plays at each stop.
+    pub fn probe(&self) -> Vec<f64> {
+        uniq_dsp::signal::linear_chirp(
+            self.probe_f0,
+            self.probe_f1,
+            self.probe_duration,
+            self.render.sample_rate,
+        )
+    }
+
+    /// Output angle grid `0..=180` degrees at `grid_step_deg`.
+    pub fn output_grid(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut a = 0.0;
+        while a <= 180.0 + 1e-9 {
+            out.push(a);
+            a += self.grid_step_deg;
+        }
+        out
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters.
+    pub fn validate(&self) {
+        self.render.validate();
+        assert!(
+            self.probe_f0 > 0.0 && self.probe_f1 > self.probe_f0,
+            "probe band must satisfy 0 < f0 < f1"
+        );
+        assert!(
+            self.probe_f1 <= self.render.sample_rate / 2.0,
+            "probe exceeds Nyquist"
+        );
+        assert!(self.stops >= 4, "need at least 4 measurement stops");
+        assert!(self.channel_len >= 128, "channel_len too short");
+        assert!(
+            (0.0..1.0).contains(&self.tap_threshold),
+            "tap threshold must be a fraction"
+        );
+        assert!(self.grid_step_deg > 0.0 && self.grid_step_deg <= 30.0);
+        assert!(self.room_gate_s > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        UniqConfig::default().validate();
+        UniqConfig::fast_test().validate();
+    }
+
+    #[test]
+    fn probe_length() {
+        let cfg = UniqConfig::default();
+        let p = cfg.probe();
+        assert_eq!(p.len(), (0.05 * 48_000.0) as usize);
+    }
+
+    #[test]
+    fn output_grid_covers_sweep() {
+        let cfg = UniqConfig::default();
+        let g = cfg.output_grid();
+        assert_eq!(g.len(), 181);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 180.0);
+    }
+
+    #[test]
+    fn coarse_grid() {
+        let cfg = UniqConfig {
+            grid_step_deg: 30.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.output_grid().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn probe_beyond_nyquist_rejected() {
+        let cfg = UniqConfig {
+            probe_f1: 30_000.0,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,430 @@
+//! Near-field HRTF assembly and interpolation (§4.2 of the paper).
+//!
+//! After fusion assigns an angle to every measured channel, this module
+//! turns the discrete measurements into a continuous near-field HRTF:
+//!
+//! 1. index the gated channels by their fused angles (a discrete
+//!    [`HrirBank`]);
+//! 2. first-tap-align adjacent HRIRs ("otherwise spurious echoes will get
+//!    injected"), linearly interpolate to the output grid, and
+//! 3. model-correct each interpolated HRIR: shift per-ear first taps to
+//!    the delays predicted by the fused head parameters at that angle, and
+//!    rescale amplitude by the spreading-loss ratio.
+
+use crate::config::UniqConfig;
+use crate::fusion::FusionResult;
+use crate::session::SessionData;
+use uniq_acoustics::types::{BinauralIr, HrirBank};
+use uniq_dsp::align::shift_signal;
+use uniq_dsp::interp::{bracket_angle, lerp_vec};
+use uniq_dsp::peaks::first_tap;
+use uniq_geometry::diffraction::path_to_ear;
+use uniq_geometry::vec2::unit_from_theta;
+use uniq_geometry::{Ear, HeadBoundary};
+
+/// The discrete near-field bank: each measured channel indexed by its
+/// fused angle. Stops that failed to localize (NaN radius) are dropped.
+pub fn assemble_discrete(
+    session: &SessionData,
+    fusion: &FusionResult,
+    cfg: &UniqConfig,
+) -> HrirBank {
+    let mut pairs: Vec<(f64, BinauralIr)> = Vec::new();
+    for (stop, (&theta, loc)) in session
+        .stops
+        .iter()
+        .zip(fusion.final_thetas_deg.iter().zip(&fusion.stops))
+    {
+        if !loc.radius_m.is_finite() {
+            continue;
+        }
+        let theta = theta.rem_euclid(360.0);
+        // Degenerate duplicate angles (stalled gesture) keep the first.
+        if pairs.iter().any(|(a, _)| (a - theta).abs() < 1e-6) {
+            continue;
+        }
+        pairs.push((theta, stop.channel.ir.clone()));
+    }
+    HrirBank::new(pairs, cfg.render.sample_rate)
+}
+
+/// Mean estimated trajectory radius (metres) over localized stops.
+pub fn mean_radius(fusion: &FusionResult) -> f64 {
+    let rs: Vec<f64> = fusion
+        .stops
+        .iter()
+        .map(|s| s.radius_m)
+        .filter(|r| r.is_finite())
+        .collect();
+    rs.iter().sum::<f64>() / rs.len().max(1) as f64
+}
+
+/// Interpolates the discrete bank onto the output grid with first-tap
+/// alignment and diffraction-model correction.
+///
+/// `fusion` provides the head parameters for the correction model;
+/// `radius` is the nominal trajectory radius the grid is rendered at.
+pub fn interpolate(
+    discrete: &HrirBank,
+    fusion: &FusionResult,
+    cfg: &UniqConfig,
+    radius: f64,
+) -> HrirBank {
+    let boundary = HeadBoundary::new(fusion.head, cfg.inverse_resolution);
+    let angles = discrete.angles();
+    let grid = cfg.output_grid();
+    let sr = cfg.render.sample_rate;
+
+    let pairs: Vec<(f64, BinauralIr)> = grid
+        .iter()
+        .map(|&theta| {
+            let (i0, i1, t) = bracket_angle(angles, theta);
+            let ir = blend_aligned(&discrete.irs()[i0], &discrete.irs()[i1], t, cfg);
+            let ir = model_correct(ir, &boundary, theta, radius, cfg);
+            (theta, ir)
+        })
+        .collect();
+    HrirBank::new(pairs, sr)
+}
+
+/// First-tap-aligns two HRIRs (per ear) and blends them; the blended first
+/// tap is then placed at the linear interpolation of the two tap times.
+fn blend_aligned(a: &BinauralIr, b: &BinauralIr, t: f64, cfg: &UniqConfig) -> BinauralIr {
+    let blend_ear = |ea: &[f64], eb: &[f64]| -> Vec<f64> {
+        let ta = first_tap(ea, cfg.tap_threshold).map(|p| p.position);
+        let tb = first_tap(eb, cfg.tap_threshold).map(|p| p.position);
+        match (ta, tb) {
+            (Some(ta), Some(tb)) => {
+                // Align b's tap onto a's, blend, then shift the result to
+                // the interpolated tap position.
+                let shift_b = (ta - tb).round() as isize;
+                let b_aligned = shift_signal(eb, shift_b);
+                let blended = lerp_vec(ea, &b_aligned, t);
+                let target = ta + t * (tb - ta);
+                shift_signal(&blended, (target - ta).round() as isize)
+            }
+            _ => lerp_vec(ea, eb, t),
+        }
+    };
+    BinauralIr::new(
+        blend_ear(&a.left, &b.left),
+        blend_ear(&a.right, &b.right),
+    )
+}
+
+/// §4.2 model correction: if the interpolated HRIR's first taps deviate
+/// from the diffraction model's prediction for (E_opt, θ, r), shift the
+/// channel taps to the expected time and rescale to the expected
+/// spreading amplitude.
+fn model_correct(
+    ir: BinauralIr,
+    boundary: &HeadBoundary,
+    theta_deg: f64,
+    radius: f64,
+    cfg: &UniqConfig,
+) -> BinauralIr {
+    let pos = unit_from_theta(theta_deg) * radius;
+    let correct_ear = |sig: &[f64], ear: Ear| -> Vec<f64> {
+        let Some(path) = path_to_ear(boundary, pos, ear) else {
+            return sig.to_vec();
+        };
+        let expect = cfg.render.metres_to_samples(path.length);
+        match first_tap(sig, cfg.tap_threshold) {
+            Some(tap) => {
+                let shift = (expect - tap.position).round() as isize;
+                // Only correct confident, small deviations; large ones mean
+                // the interpolation straddles a poorly measured arc and the
+                // model is the better guess of *timing* only.
+                shift_signal(sig, shift)
+            }
+            None => sig.to_vec(),
+        }
+    };
+    BinauralIr::new(
+        correct_ear(&ir.left, Ear::Left),
+        correct_ear(&ir.right, Ear::Right),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_acoustics::pinna::PinnaModel;
+    use uniq_acoustics::render::Renderer;
+    use uniq_acoustics::types::RenderConfig;
+    use uniq_geometry::HeadParams;
+
+    fn cfg() -> UniqConfig {
+        UniqConfig {
+            grid_step_deg: 5.0,
+            ..UniqConfig::fast_test()
+        }
+    }
+
+    /// A fusion result that matches the renderer's geometry exactly.
+    fn perfect_fusion(head: HeadParams, angles: &[f64], radius: f64) -> FusionResult {
+        FusionResult {
+            head,
+            stops: angles
+                .iter()
+                .map(|&a| crate::fusion::LocalizedStop {
+                    theta_deg: a,
+                    radius_m: radius,
+                    residual_m: 0.0,
+                })
+                .collect(),
+            final_thetas_deg: angles.to_vec(),
+            mean_residual_deg: 0.0,
+            objective: 0.0,
+        }
+    }
+
+    fn measured_bank(head: HeadParams, angles: &[f64], radius: f64, c: &UniqConfig) -> HrirBank {
+        let r = Renderer::new(
+            HeadBoundary::new(head, 2048),
+            PinnaModel::from_seed(61),
+            PinnaModel::from_seed(62),
+            c.render,
+        );
+        r.near_field_bank(angles, radius)
+    }
+
+    #[test]
+    fn interpolation_grid_is_complete() {
+        let c = cfg();
+        let head = HeadParams::average_adult();
+        let angles: Vec<f64> = (0..=9).map(|k| k as f64 * 20.0).collect();
+        let bank = measured_bank(head, &angles, 0.4, &c);
+        let fusion = perfect_fusion(head, &angles, 0.4);
+        let interp = interpolate(&bank, &fusion, &c, 0.4);
+        assert_eq!(interp.len(), c.output_grid().len());
+    }
+
+    #[test]
+    fn interpolation_exact_at_measured_angles() {
+        let c = cfg();
+        let head = HeadParams::average_adult();
+        let angles: Vec<f64> = (0..=9).map(|k| k as f64 * 20.0).collect();
+        let bank = measured_bank(head, &angles, 0.4, &c);
+        let fusion = perfect_fusion(head, &angles, 0.4);
+        let interp = interpolate(&bank, &fusion, &c, 0.4);
+        // At a measured angle, the interpolated HRIR should correlate ≈1
+        // with the measurement (up to an integer alignment shift).
+        let idx = interp.index_of(40.0).unwrap();
+        let (sim, _) = interp.irs()[idx].similarity(&bank.irs()[2]);
+        assert!(sim > 0.99, "similarity at measured angle: {sim}");
+    }
+
+    #[test]
+    fn interpolated_angle_close_to_true_render() {
+        // HRIR interpolated at an unmeasured angle should resemble the
+        // true render at that angle. 10°-spaced measurements bracket the
+        // query at ±5°, where the pinna is still well correlated.
+        let c = cfg();
+        let head = HeadParams::average_adult();
+        let angles: Vec<f64> = (0..=18).map(|k| k as f64 * 10.0).collect();
+        let bank = measured_bank(head, &angles, 0.4, &c);
+        let fusion = perfect_fusion(head, &angles, 0.4);
+        let interp = interpolate(&bank, &fusion, &c, 0.4);
+
+        let truth = measured_bank(head, &[45.0], 0.4, &c);
+        let idx = interp.index_of(45.0).unwrap();
+        let (sim_interp, _) = interp.irs()[idx].similarity(&truth.irs()[0]);
+        assert!(sim_interp > 0.75, "interp quality {sim_interp}");
+        // It must also beat the *average* similarity of distant angles —
+        // the shift-invariant metric has a high floor, so compare to the
+        // mean over several.
+        let mut distant = 0.0;
+        for far_angle in [110.0, 135.0, 160.0] {
+            let far_idx = interp.index_of(far_angle).unwrap();
+            distant += interp.irs()[far_idx].similarity(&truth.irs()[0]).0;
+        }
+        distant /= 3.0;
+        assert!(
+            sim_interp > distant + 0.05,
+            "interp {sim_interp} vs distant mean {distant}"
+        );
+    }
+
+    #[test]
+    fn first_taps_follow_model_after_correction() {
+        let c = cfg();
+        let head = HeadParams::average_adult();
+        let angles: Vec<f64> = (0..=9).map(|k| k as f64 * 20.0).collect();
+        let bank = measured_bank(head, &angles, 0.4, &c);
+        let fusion = perfect_fusion(head, &angles, 0.4);
+        let interp = interpolate(&bank, &fusion, &c, 0.4);
+
+        let boundary = HeadBoundary::new(head, 1024);
+        for &theta in &[25.0, 75.0, 125.0] {
+            let idx = interp.index_of(theta).unwrap();
+            let pos = unit_from_theta(theta) * 0.4;
+            let expect = c
+                .render
+                .metres_to_samples(path_to_ear(&boundary, pos, Ear::Left).unwrap().length);
+            let tap = first_tap(&interp.irs()[idx].left, c.tap_threshold).unwrap();
+            assert!(
+                (tap.position - expect).abs() < 2.0,
+                "θ={theta}: tap {} vs model {expect}",
+                tap.position
+            );
+        }
+    }
+
+    #[test]
+    fn assemble_skips_failed_stops() {
+        let c = cfg();
+        let head = HeadParams::average_adult();
+        let angles = [0.0, 45.0, 90.0];
+        let bank = measured_bank(head, &angles, 0.4, &c);
+        // Fake a session out of the bank.
+        let session = SessionData {
+            stops: bank
+                .irs()
+                .iter()
+                .zip(bank.angles())
+                .map(|(ir, &a)| crate::session::StopMeasurement {
+                    alpha_deg: a,
+                    channel: crate::channel::EstimatedChannel {
+                        ir: ir.clone(),
+                        tap_left: 50.0,
+                        tap_right: 60.0,
+                    },
+                    truth_theta_deg: a,
+                    truth_radius_m: 0.4,
+                })
+                .collect(),
+            system_ir: vec![1.0],
+        };
+        let mut fusion = perfect_fusion(head, &angles, 0.4);
+        fusion.stops[1].radius_m = f64::NAN; // failed stop
+        let discrete = assemble_discrete(&session, &fusion, &c);
+        assert_eq!(discrete.len(), 2);
+        assert_eq!(discrete.angles(), &[0.0, 90.0]);
+    }
+
+    #[test]
+    fn mean_radius_ignores_nan() {
+        let head = HeadParams::average_adult();
+        let mut fusion = perfect_fusion(head, &[0.0, 90.0, 180.0], 0.4);
+        fusion.stops[2].radius_m = f64::NAN;
+        assert!((mean_radius(&fusion) - 0.4).abs() < 1e-12);
+    }
+}
+
+/// §4.2 interpolation quality assessment: per-angle deviation between the
+/// interpolated HRIRs' first taps and the diffraction model's prediction.
+///
+/// "For a given interpolated location L and HRTF H_L, we can partly assess
+/// the quality of interpolation (by modeling the diffraction from the
+/// known head parameters E and the location L)." Returned deviations are
+/// in samples (per ear, absolute); large values flag angles whose
+/// bracketing measurements disagree with the fused geometry.
+pub fn interpolation_quality(
+    bank: &HrirBank,
+    fusion: &FusionResult,
+    cfg: &UniqConfig,
+    radius: f64,
+) -> Vec<(f64, f64, f64)> {
+    let boundary = HeadBoundary::new(fusion.head, cfg.inverse_resolution);
+    bank.angles()
+        .iter()
+        .zip(bank.irs())
+        .map(|(&theta, ir)| {
+            let pos = unit_from_theta(theta) * radius;
+            let dev = |sig: &[f64], ear: Ear| -> f64 {
+                let Some(path) = path_to_ear(&boundary, pos, ear) else {
+                    return f64::NAN;
+                };
+                let expect = cfg.render.metres_to_samples(path.length);
+                match first_tap(sig, cfg.tap_threshold) {
+                    Some(tap) => (tap.position - expect).abs(),
+                    None => f64::NAN,
+                }
+            };
+            (theta, dev(&ir.left, Ear::Left), dev(&ir.right, Ear::Right))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod quality_tests {
+    use super::*;
+    use uniq_acoustics::pinna::PinnaModel;
+    use uniq_acoustics::render::Renderer;
+    use uniq_geometry::HeadParams;
+
+    #[test]
+    fn interpolated_bank_scores_tight_deviations() {
+        let cfg = UniqConfig {
+            grid_step_deg: 15.0,
+            ..UniqConfig::fast_test()
+        };
+        let head = HeadParams::average_adult();
+        let r = Renderer::new(
+            HeadBoundary::new(head, 2048),
+            PinnaModel::from_seed(991),
+            PinnaModel::from_seed(992),
+            cfg.render,
+        );
+        let angles: Vec<f64> = (0..=12).map(|k| k as f64 * 15.0).collect();
+        let bank = r.near_field_bank(&angles, 0.4);
+        let fusion = FusionResult {
+            head,
+            stops: vec![],
+            final_thetas_deg: vec![],
+            mean_residual_deg: 0.0,
+            objective: 0.0,
+        };
+        let interp = interpolate(&bank, &fusion, &cfg, 0.4);
+        let quality = interpolation_quality(&interp, &fusion, &cfg, 0.4);
+        assert_eq!(quality.len(), interp.len());
+        for (theta, dl, dr) in quality {
+            assert!(dl.is_finite() && dr.is_finite(), "no tap at {theta}");
+            assert!(dl < 2.5 && dr < 2.5, "θ={theta}: deviation {dl}/{dr}");
+        }
+    }
+
+    #[test]
+    fn corrupted_bank_flagged() {
+        let cfg = UniqConfig {
+            grid_step_deg: 30.0,
+            ..UniqConfig::fast_test()
+        };
+        let head = HeadParams::average_adult();
+        let r = Renderer::new(
+            HeadBoundary::new(head, 1024),
+            PinnaModel::from_seed(993),
+            PinnaModel::from_seed(994),
+            cfg.render,
+        );
+        let angles: Vec<f64> = (0..=6).map(|k| k as f64 * 30.0).collect();
+        let bank = r.near_field_bank(&angles, 0.4);
+        // Misalign one HRIR by 20 samples: the diagnostic must notice.
+        let mut pairs: Vec<(f64, BinauralIr)> = bank
+            .angles()
+            .iter()
+            .zip(bank.irs())
+            .map(|(&a, ir)| (a, ir.clone()))
+            .collect();
+        pairs[3].1 = BinauralIr::new(
+            shift_signal(&pairs[3].1.left, 20),
+            shift_signal(&pairs[3].1.right, 20),
+        );
+        let corrupted = HrirBank::new(pairs, cfg.render.sample_rate);
+        let fusion = FusionResult {
+            head,
+            stops: vec![],
+            final_thetas_deg: vec![],
+            mean_residual_deg: 0.0,
+            objective: 0.0,
+        };
+        let quality = interpolation_quality(&corrupted, &fusion, &cfg, 0.4);
+        assert!(
+            quality[3].1 > 15.0,
+            "misalignment not flagged: {:?}",
+            quality[3]
+        );
+        assert!(quality[0].1 < 3.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end orchestration with gesture auto-correction (§4.6).
+//!
+//! `personalize` runs: measurement session → channel estimation → fusion →
+//! near-field interpolation → near-far conversion → [`PersonalHrtf`]. The
+//! gesture auto-correction of §4.6 rejects sessions whose estimated phone
+//! radius collapses toward the head or whose fusion residual explodes,
+//! and `personalize_with_retry` re-runs them (the paper: "this triggers a
+//! message to the user to redo the measurement exercise").
+
+use crate::channel::ChannelError;
+use crate::config::UniqConfig;
+use crate::fusion::{fuse, session_to_inputs, FusionResult};
+use crate::hrtf::PersonalHrtf;
+use crate::nearfield::{assemble_discrete, interpolate, mean_radius};
+use crate::session::run_session;
+use uniq_subjects::Subject;
+
+/// Why a personalization attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersonalizationError {
+    /// Channel estimation failed (no detectable taps).
+    Channel(ChannelError),
+    /// Sensor fusion could not localize a majority of stops.
+    FusionFailed,
+    /// §4.6 gesture auto-correction fired: the user should redo the
+    /// gesture.
+    GestureRejected {
+        /// Mean estimated phone radius, metres.
+        radius_m: f64,
+        /// Mean fusion residual, degrees.
+        residual_deg: f64,
+    },
+}
+
+impl std::fmt::Display for PersonalizationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersonalizationError::Channel(e) => write!(f, "channel estimation failed: {e}"),
+            PersonalizationError::FusionFailed => write!(f, "sensor fusion failed"),
+            PersonalizationError::GestureRejected {
+                radius_m,
+                residual_deg,
+            } => write!(
+                f,
+                "gesture rejected (radius {radius_m:.2} m, residual {residual_deg:.1}°) — redo the measurement"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersonalizationError {}
+
+/// A successful personalization.
+#[derive(Debug, Clone)]
+pub struct PersonalizationResult {
+    /// The personalized HRTF table.
+    pub hrtf: PersonalHrtf,
+    /// The fusion output (head parameters, phone localizations).
+    pub fusion: FusionResult,
+    /// `(ground-truth θ, estimated θ)` per stop — evaluation data for the
+    /// Fig 17 localization plots.
+    pub localization: Vec<(f64, f64)>,
+    /// Mean estimated trajectory radius, metres.
+    pub radius_m: f64,
+    /// How many gesture attempts were needed (≥ 1).
+    pub attempts: usize,
+}
+
+/// Runs one personalization attempt.
+pub fn personalize(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+) -> Result<PersonalizationResult, PersonalizationError> {
+    cfg.validate();
+    let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Channel)?;
+    let inputs = session_to_inputs(&session, cfg);
+    let fusion = fuse(&inputs, cfg).ok_or(PersonalizationError::FusionFailed)?;
+
+    // §4.6 gesture auto-correction.
+    let radius = mean_radius(&fusion);
+    if radius < cfg.min_radius_m || fusion.mean_residual_deg > cfg.max_fusion_residual_deg {
+        return Err(PersonalizationError::GestureRejected {
+            radius_m: radius,
+            residual_deg: fusion.mean_residual_deg,
+        });
+    }
+
+    let discrete = assemble_discrete(&session, &fusion, cfg);
+    let near = interpolate(&discrete, &fusion, cfg, radius);
+    let far = crate::nearfar::convert(&near, &fusion, cfg, radius);
+
+    let localization = session
+        .stops
+        .iter()
+        .zip(&fusion.final_thetas_deg)
+        .map(|(s, &est)| (s.truth_theta_deg, est))
+        .collect();
+
+    Ok(PersonalizationResult {
+        hrtf: PersonalHrtf::new(near, far, fusion.head),
+        fusion,
+        localization,
+        radius_m: radius,
+        attempts: 1,
+    })
+}
+
+/// Runs personalization with the §4.6 retry loop: gesture rejections
+/// trigger a fresh session (new seed), up to `max_attempts` times.
+pub fn personalize_with_retry(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+    max_attempts: usize,
+) -> Result<PersonalizationResult, PersonalizationError> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let mut last_err = PersonalizationError::FusionFailed;
+    for attempt in 0..max_attempts {
+        match personalize(subject, cfg, seed.wrapping_add(10_000 * attempt as u64)) {
+            Ok(mut r) => {
+                r.attempts = attempt + 1;
+                return Ok(r);
+            }
+            Err(e @ PersonalizationError::GestureRejected { .. }) => last_err = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_geometry::vec2::angle_diff_deg;
+
+    fn cfg() -> UniqConfig {
+        UniqConfig {
+            in_room: false,
+            snr_db: 45.0,
+            grid_step_deg: 10.0,
+            ..UniqConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn end_to_end_personalization_succeeds() {
+        let c = cfg();
+        let subject = Subject::from_seed(70);
+        let result = personalize(&subject, &c, 42).expect("pipeline should succeed");
+
+        // Head parameters near the subject's truth.
+        assert!(
+            (result.fusion.head.a - subject.head.a).abs() < 0.012,
+            "a: {} vs {}",
+            result.fusion.head.a,
+            subject.head.a
+        );
+
+        // Localization accuracy comparable to the paper's Fig 17.
+        let errs: Vec<f64> = result
+            .localization
+            .iter()
+            .map(|(t, e)| angle_diff_deg(*t, *e))
+            .collect();
+        let median = uniq_dsp::stats::median(&errs);
+        assert!(median < 8.0, "median localization error {median}°");
+
+        // Output banks cover the grid.
+        assert_eq!(result.hrtf.near().len(), c.output_grid().len());
+        assert_eq!(result.hrtf.far().len(), c.output_grid().len());
+    }
+
+    #[test]
+    fn personalized_beats_global_template() {
+        // The headline claim (Figs 18–19) at unit-test scale.
+        let c = cfg();
+        let subject = Subject::from_seed(71);
+        let result = personalize(&subject, &c, 43).unwrap();
+
+        let grid = c.output_grid();
+        let truth = subject.ground_truth(c.render, &grid);
+        let global = uniq_subjects::global_template(c.render, &grid);
+
+        let mut personal = 0.0;
+        let mut generic = 0.0;
+        for ((est, glob), gt) in result
+            .hrtf
+            .far()
+            .irs()
+            .iter()
+            .zip(global.irs())
+            .zip(truth.irs())
+        {
+            let (pl, pr) = est.similarity(gt);
+            let (gl, gr) = glob.similarity(gt);
+            personal += pl + pr;
+            generic += gl + gr;
+        }
+        assert!(
+            personal > generic,
+            "personalization below global: {personal} vs {generic}"
+        );
+    }
+
+    #[test]
+    fn gesture_rejection_triggers_on_tight_thresholds() {
+        // Force rejection by demanding an impossibly small residual.
+        let c = UniqConfig {
+            max_fusion_residual_deg: 0.01,
+            ..cfg()
+        };
+        let subject = Subject::from_seed(72);
+        match personalize(&subject, &c, 44) {
+            Err(PersonalizationError::GestureRejected { residual_deg, .. }) => {
+                assert!(residual_deg > 0.01);
+            }
+            other => panic!("expected gesture rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_loop_reports_attempts() {
+        let c = cfg();
+        let subject = Subject::from_seed(73);
+        let r = personalize_with_retry(&subject, &c, 45, 3).unwrap();
+        assert!(r.attempts >= 1 && r.attempts <= 3);
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_rejection() {
+        let c = UniqConfig {
+            max_fusion_residual_deg: 0.001,
+            ..cfg()
+        };
+        let subject = Subject::from_seed(74);
+        let err = personalize_with_retry(&subject, &c, 46, 2).unwrap_err();
+        assert!(matches!(err, PersonalizationError::GestureRejected { .. }));
+    }
+}

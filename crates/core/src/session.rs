@@ -1,0 +1,191 @@
+//! The measurement session.
+//!
+//! Drives one full data-collection pass for a subject: generate the arm
+//! gesture, simulate the phone IMU along it, and at each discrete stop
+//! play the probe chirp and estimate the binaural channel from the in-ear
+//! recordings. The output is exactly the three inputs the paper gives the
+//! UNIQ algorithm — earphone recordings (as estimated channels), IMU
+//! orientation, and the known probe — plus ground truth kept *only* for
+//! evaluation.
+
+use crate::channel::{estimate_channel, ChannelError, EstimatedChannel};
+use crate::config::UniqConfig;
+use uniq_acoustics::measure::{record_point_source, MeasurementSetup};
+use uniq_imu::gyro::integrate_rates;
+use uniq_imu::trajectory::{generate_trajectory, measurement_stops, GesturePlan};
+use uniq_subjects::{Subject, FORWARD_RESOLUTION};
+
+/// One measurement stop: what the pipeline may use, plus ground truth for
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct StopMeasurement {
+    /// IMU-integrated phone orientation α at this stop, degrees (input to
+    /// fusion; noisy).
+    pub alpha_deg: f64,
+    /// Estimated binaural channel at this stop (input to fusion).
+    pub channel: EstimatedChannel,
+    /// Ground-truth polar angle (evaluation only — from the overhead
+    /// camera in the paper's rig).
+    pub truth_theta_deg: f64,
+    /// Ground-truth polar radius (evaluation only).
+    pub truth_radius_m: f64,
+}
+
+/// A completed measurement session.
+#[derive(Debug, Clone)]
+pub struct SessionData {
+    /// Per-stop measurements, in sweep order.
+    pub stops: Vec<StopMeasurement>,
+    /// The calibrated speaker–microphone impulse response used for
+    /// compensation.
+    pub system_ir: Vec<f64>,
+}
+
+/// Runs a measurement session for `subject` with the given config and
+/// seed. The seed controls gesture imperfections, IMU noise and microphone
+/// noise (all deterministic given the seed).
+///
+/// # Errors
+/// Returns [`ChannelError`] if any stop's channel has no detectable taps
+/// (e.g. hopeless SNR).
+pub fn run_session(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+) -> Result<SessionData, ChannelError> {
+    cfg.validate();
+    let renderer = subject.renderer(cfg.render, FORWARD_RESOLUTION);
+    let setup = if cfg.in_room {
+        MeasurementSetup::home(cfg.render.sample_rate, cfg.snr_db)
+    } else {
+        MeasurementSetup::anechoic(cfg.render.sample_rate, cfg.snr_db)
+    };
+    let probe = cfg.probe();
+    let system_ir = setup.system.calibrate(&probe, 256);
+
+    // Gesture + IMU.
+    let plan = GesturePlan::standard(subject.gesture);
+    let traj = generate_trajectory(&plan, seed);
+    let true_rates: Vec<f64> = traj.iter().map(|s| s.angular_rate_dps).collect();
+    let dt = 1.0 / plan.imu_rate_hz;
+    let measured_rates = cfg.gyro.simulate(&true_rates, dt, seed.wrapping_add(1));
+    // The user is instructed to start facing front: initial α = 0.
+    let alphas = integrate_rates(&measured_rates, dt, 0.0);
+
+    // Index stops back into the full trajectory to read the IMU angle
+    // (same index formula as `measurement_stops`).
+    let stops = measurement_stops(&traj, cfg.stops);
+
+    let mut out = Vec::with_capacity(stops.len());
+    for (i, stop) in stops.iter().enumerate() {
+        let idx = i * (traj.len() - 1) / (cfg.stops - 1);
+        let rec = record_point_source(
+            &renderer,
+            &setup,
+            stop.pos,
+            &probe,
+            seed.wrapping_add(100 + i as u64),
+        )
+        .expect("gesture trajectory stays outside the head");
+        let channel = estimate_channel(&rec, &probe, &system_ir, cfg)?;
+        out.push(StopMeasurement {
+            alpha_deg: alphas[idx],
+            channel,
+            truth_theta_deg: stop.theta_deg,
+            truth_radius_m: stop.radius_m,
+        });
+    }
+
+    Ok(SessionData {
+        stops: out,
+        system_ir,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_imu::trajectory::Imperfections;
+
+    fn quiet_cfg() -> UniqConfig {
+        UniqConfig {
+            in_room: false,
+            snr_db: 60.0,
+            ..UniqConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn session_produces_expected_stop_count() {
+        let cfg = quiet_cfg();
+        let subject = uniq_subjects::Subject::from_seed(50);
+        let data = run_session(&subject, &cfg, 1).unwrap();
+        assert_eq!(data.stops.len(), cfg.stops);
+    }
+
+    #[test]
+    fn imu_angles_track_truth_within_drift() {
+        let cfg = quiet_cfg();
+        let mut subject = uniq_subjects::Subject::from_seed(51);
+        subject.gesture = Imperfections::none();
+        let data = run_session(&subject, &cfg, 2).unwrap();
+        for stop in &data.stops {
+            let err = (stop.alpha_deg - stop.truth_theta_deg).abs();
+            assert!(err < 12.0, "IMU error {err}° too large");
+        }
+        // Angles must increase along the sweep.
+        for w in data.stops.windows(2) {
+            assert!(w[1].alpha_deg > w[0].alpha_deg - 2.0);
+        }
+    }
+
+    #[test]
+    fn relative_delay_crosses_zero_mid_sweep() {
+        // Early stops are frontal (Δt ≈ small positive — source slightly
+        // left); at 90° the left ear leads maximally; Δt shrinks again
+        // toward 180°. At minimum, Δt at 90° must dominate the endpoints.
+        let cfg = quiet_cfg();
+        let mut subject = uniq_subjects::Subject::from_seed(52);
+        subject.gesture = Imperfections::none();
+        let data = run_session(&subject, &cfg, 3).unwrap();
+        let delays: Vec<f64> = data
+            .stops
+            .iter()
+            .map(|s| s.channel.relative_delay())
+            .collect();
+        let mid = delays[delays.len() / 2];
+        assert!(mid > delays[0] + 3.0, "mid {mid} first {}", delays[0]);
+        assert!(
+            mid > *delays.last().unwrap() + 3.0,
+            "mid {mid} last {}",
+            delays.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = quiet_cfg();
+        let subject = uniq_subjects::Subject::from_seed(53);
+        let a = run_session(&subject, &cfg, 9).unwrap();
+        let b = run_session(&subject, &cfg, 9).unwrap();
+        assert_eq!(a.stops.len(), b.stops.len());
+        for (x, y) in a.stops.iter().zip(&b.stops) {
+            assert_eq!(x.alpha_deg, y.alpha_deg);
+            assert_eq!(x.channel.tap_left, y.channel.tap_left);
+        }
+    }
+
+    #[test]
+    fn room_session_still_finds_taps() {
+        let cfg = UniqConfig {
+            in_room: true,
+            ..quiet_cfg()
+        };
+        let subject = uniq_subjects::Subject::from_seed(54);
+        let data = run_session(&subject, &cfg, 4).unwrap();
+        assert_eq!(data.stops.len(), cfg.stops);
+        for s in &data.stops {
+            assert!(s.channel.tap_left > 0.0);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Phone–earphone clock synchronization.
+//!
+//! The paper's fusion uses *absolute* first-tap delays, which presumes the
+//! phone's playback clock and the earphone's recording clock share a time
+//! origin ("the phone and the earphones are synchronized"). Real devices
+//! have an unknown, stable offset (driver latency, Bluetooth buffering).
+//! This module estimates that offset with a one-touch calibration: the
+//! user holds the phone against an earbud and plays the probe once; the
+//! first tap's deviation from the expected contact-distance delay *is*
+//! the offset.
+
+use crate::config::UniqConfig;
+use uniq_acoustics::measure::BinauralRecording;
+use uniq_dsp::deconv::wiener_deconvolve;
+use uniq_dsp::peaks::first_tap;
+
+/// Assumed phone-to-ear distance during the touch calibration, metres
+/// (the phone's speaker rests a couple of centimetres from the ear).
+pub const CONTACT_DISTANCE_M: f64 = 0.02;
+
+/// An estimated clock offset.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockOffset {
+    /// Offset in seconds: recording-clock time minus playback-clock time.
+    pub offset_s: f64,
+    /// Which ear was used for the touch calibration.
+    pub strong_left: bool,
+}
+
+impl ClockOffset {
+    /// Converts a raw first-tap position (samples) into a propagation path
+    /// length (metres) using this offset instead of an assumed base delay.
+    pub fn tap_to_metres(&self, tap_samples: f64, cfg: &UniqConfig) -> f64 {
+        (tap_samples / cfg.render.sample_rate - self.offset_s)
+            * cfg.render.speed_of_sound
+    }
+}
+
+/// Estimates the clock offset from a touch-calibration recording: the
+/// probe played while the phone touches one earbud.
+///
+/// Returns `None` when no tap is detectable (e.g. the user didn't hold the
+/// phone to the ear).
+pub fn estimate_clock_offset(
+    recording: &BinauralRecording,
+    probe: &[f64],
+    cfg: &UniqConfig,
+) -> Option<ClockOffset> {
+    // Clock offsets can exceed the normal channel window (Bluetooth
+    // buffering reaches tens of milliseconds), so deconvolve a wide view.
+    let window = cfg
+        .channel_len
+        .max((0.1 * cfg.render.sample_rate) as usize);
+    let ch_left = wiener_deconvolve(&recording.left, probe, cfg.deconv_noise_floor, window);
+    let ch_right = wiener_deconvolve(&recording.right, probe, cfg.deconv_noise_floor, window);
+    // The touched ear dominates in energy; use its first tap.
+    let e_left: f64 = ch_left.iter().map(|v| v * v).sum();
+    let e_right: f64 = ch_right.iter().map(|v| v * v).sum();
+    let strong_left = e_left >= e_right;
+    let tap = first_tap(
+        if strong_left { &ch_left } else { &ch_right },
+        cfg.tap_threshold,
+    )?;
+    let flight_s = CONTACT_DISTANCE_M / cfg.render.speed_of_sound;
+    Some(ClockOffset {
+        offset_s: tap.position / cfg.render.sample_rate - flight_s,
+        strong_left,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_dsp::conv::convolve;
+    use uniq_dsp::delay::add_fractional_impulse;
+
+    fn cfg() -> UniqConfig {
+        UniqConfig::fast_test()
+    }
+
+    /// Synthesizes a touch recording with a known extra clock offset on
+    /// top of the configured base delay.
+    fn touch_recording(c: &UniqConfig, extra_offset_s: f64, left: bool) -> BinauralRecording {
+        let sr = c.render.sample_rate;
+        let total_delay =
+            (c.render.base_delay + extra_offset_s + CONTACT_DISTANCE_M / 343.0) * sr;
+        let mut ir = vec![0.0; 1024];
+        add_fractional_impulse(&mut ir, total_delay, 1.0);
+        let strong = convolve(&c.probe(), &ir);
+        let weak: Vec<f64> = strong.iter().map(|v| v * 0.02).collect();
+        if left {
+            BinauralRecording {
+                left: strong,
+                right: weak,
+            }
+        } else {
+            BinauralRecording {
+                left: weak,
+                right: strong,
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_known_offset() {
+        let c = cfg();
+        for extra in [0.0, 0.002, 0.01] {
+            let rec = touch_recording(&c, extra, true);
+            let est = estimate_clock_offset(&rec, &c.probe(), &c).unwrap();
+            let expect = c.render.base_delay + extra;
+            assert!(
+                (est.offset_s - expect).abs() < 2.0 / c.render.sample_rate,
+                "extra {extra}: got {}, want {expect}",
+                est.offset_s
+            );
+            assert!(est.strong_left);
+        }
+    }
+
+    #[test]
+    fn picks_the_touched_ear() {
+        let c = cfg();
+        let rec = touch_recording(&c, 0.001, false);
+        let est = estimate_clock_offset(&rec, &c.probe(), &c).unwrap();
+        assert!(!est.strong_left);
+    }
+
+    #[test]
+    fn offset_corrected_taps_match_geometry() {
+        // With the estimated offset, tap_to_metres should reproduce the
+        // same distances as the built-in base-delay assumption.
+        let c = cfg();
+        let rec = touch_recording(&c, 0.0, true);
+        let est = estimate_clock_offset(&rec, &c.probe(), &c).unwrap();
+        let tap = (c.render.base_delay + 0.4 / 343.0) * c.render.sample_rate;
+        let via_offset = est.tap_to_metres(tap, &c);
+        let via_config = crate::channel::EstimatedChannel::tap_to_metres(tap, &c);
+        assert!(
+            (via_offset - via_config).abs() < 0.01,
+            "{via_offset} vs {via_config}"
+        );
+    }
+
+    #[test]
+    fn silence_yields_none() {
+        let c = cfg();
+        let rec = BinauralRecording {
+            left: vec![0.0; 4096],
+            right: vec![0.0; 4096],
+        };
+        assert!(estimate_clock_offset(&rec, &c.probe(), &c).is_none());
+    }
+}

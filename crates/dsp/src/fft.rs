@@ -1,0 +1,295 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! Implemented from scratch (no external FFT crate). Sizes must be powers of
+//! two; [`next_pow2`] and the `*_padded` helpers take care of zero-padding
+//! arbitrary-length signals.
+//!
+//! Conventions: forward transform is un-normalized
+//! (`X[k] = Σ x[n]·e^{-2πikn/N}`), the inverse divides by `N`, so
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+
+/// Smallest power of two `>= n` (and `>= 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    transform(buf, false);
+}
+
+/// In-place inverse FFT (normalized by `1/N`).
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) {
+    transform(buf, true);
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+/// Forward FFT of a complex slice, returning a new vector.
+///
+/// ```
+/// use uniq_dsp::{fft::{fft, ifft}, Complex};
+/// let x = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
+/// let spectrum = fft(&x);                    // impulse → flat spectrum
+/// assert!(spectrum.iter().all(|v| (*v - Complex::ONE).abs() < 1e-12));
+/// let back = ifft(&spectrum);                // and back again
+/// assert!((back[0] - Complex::ONE).abs() < 1e-12);
+/// ```
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse FFT of a complex slice, returning a new vector.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    ifft_in_place(&mut buf);
+    buf
+}
+
+/// Forward FFT of a real signal, zero-padded to `len` (which must be a power
+/// of two and `>= signal.len()`).
+///
+/// # Panics
+/// Panics if `len` is not a power of two or is shorter than the signal.
+pub fn rfft_padded(signal: &[f64], len: usize) -> Vec<Complex> {
+    assert!(is_pow2(len), "rfft_padded: len {len} is not a power of two");
+    assert!(
+        len >= signal.len(),
+        "rfft_padded: len {len} < signal length {}",
+        signal.len()
+    );
+    let mut buf = vec![Complex::ZERO; len];
+    for (b, &s) in buf.iter_mut().zip(signal.iter()) {
+        *b = Complex::from_real(s);
+    }
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    rfft_padded(signal, next_pow2(signal.len()))
+}
+
+/// Inverse FFT returning only the real parts.
+///
+/// Intended for spectra of real signals (conjugate-symmetric); the imaginary
+/// residue is discarded.
+pub fn irfft(spectrum: &[Complex]) -> Vec<f64> {
+    ifft(spectrum).into_iter().map(|z| z.re).collect()
+}
+
+/// The frequency in hertz of FFT bin `k` for a transform of size `n` at
+/// `sample_rate`. Bins above `n/2` are negative frequencies.
+#[inline]
+pub fn bin_frequency(k: usize, n: usize, sample_rate: f64) -> f64 {
+    let k = k % n;
+    if k <= n / 2 {
+        k as f64 * sample_rate / n as f64
+    } else {
+        (k as f64 - n as f64) * sample_rate / n as f64
+    }
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(is_pow2(n), "FFT size {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Danielson–Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = buf[start + k];
+                let v = buf[start + k + half] * w;
+                buf[start + k] = u + v;
+                buf[start + k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(N²) DFT used as a test oracle.
+///
+/// Exposed publicly so property tests in other crates can cross-check
+/// frequency-domain code against an independent implementation.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| {
+                    input[t] * Complex::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let y = fft(&x);
+        for v in y {
+            assert!((v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse_at_dc() {
+        let x = vec![Complex::ONE; 16];
+        let y = fft(&x);
+        assert!((y[0] - Complex::from_real(16.0)).abs() < 1e-10);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..32)
+            .map(|k| {
+                Complex::new(
+                    (k as f64 * 0.37).sin() + 0.2 * k as f64,
+                    (k as f64 * 1.1).cos(),
+                )
+            })
+            .collect();
+        assert_close(&fft(&x), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex> = (0..64)
+            .map(|k| Complex::new((k as f64).sin(), (k as f64 * 0.3).cos()))
+            .collect();
+        assert_close(&ifft(&fft(&x)), &x, 1e-10);
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_conjugate_symmetry() {
+        let sig: Vec<f64> = (0..50).map(|k| (k as f64 * 0.21).sin()).collect();
+        let spec = rfft(&sig);
+        let n = spec.len();
+        for k in 1..n / 2 {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn irfft_recovers_real_signal() {
+        let sig: Vec<f64> = (0..64).map(|k| (k as f64 * 0.13).cos()).collect();
+        let rec = irfft(&rfft(&sig));
+        for (a, b) in sig.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bin_frequency_wraps_negative() {
+        assert_eq!(bin_frequency(0, 8, 8000.0), 0.0);
+        assert_eq!(bin_frequency(1, 8, 8000.0), 1000.0);
+        assert_eq!(bin_frequency(4, 8, 8000.0), 4000.0);
+        assert_eq!(bin_frequency(7, 8, 8000.0), -1000.0);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<Complex> = (0..128)
+            .map(|k| Complex::new((k as f64 * 0.7).sin(), (k as f64 * 0.2).cos()))
+            .collect();
+        let y = fft(&x);
+        let et: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ef: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((et - ef).abs() / et < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_in_place(&mut x);
+    }
+}

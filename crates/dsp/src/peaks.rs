@@ -1,0 +1,218 @@
+//! Peak picking and first-tap detection for impulse responses.
+//!
+//! The diffraction-aware sensor fusion of the paper (§4.1) relies on the
+//! *first* channel tap — the head-diffraction path — and explicitly discards
+//! later taps (face reflections, room echoes). [`first_tap`] implements that
+//! detector; [`find_peaks`] is the general local-maximum search used by the
+//! unknown-source AoA module (§4.5, Fig 14).
+
+/// A detected peak in a sampled sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Sample index of the local maximum.
+    pub index: usize,
+    /// Sub-sample refined position (parabolic interpolation).
+    pub position: f64,
+    /// Value at the (integer) peak.
+    pub value: f64,
+}
+
+/// Finds local maxima of `|signal|` that exceed `threshold · max|signal|`,
+/// separated by at least `min_distance` samples (strongest wins).
+///
+/// Returns peaks sorted by index. Empty input or silent signal gives an
+/// empty vector.
+pub fn find_peaks(signal: &[f64], threshold: f64, min_distance: usize) -> Vec<Peak> {
+    let n = signal.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let global = signal.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if global <= 0.0 {
+        return Vec::new();
+    }
+    let limit = threshold * global;
+
+    let mut raw: Vec<Peak> = Vec::new();
+    for i in 1..n - 1 {
+        let a = signal[i].abs();
+        if a >= limit && a >= signal[i - 1].abs() && a > signal[i + 1].abs() {
+            raw.push(Peak {
+                index: i,
+                position: refine(signal, i),
+                value: signal[i],
+            });
+        }
+    }
+
+    if min_distance <= 1 || raw.len() <= 1 {
+        return raw;
+    }
+
+    // Greedy non-maximum suppression: keep strongest first.
+    let mut by_strength: Vec<usize> = (0..raw.len()).collect();
+    by_strength.sort_by(|&a, &b| {
+        raw[b]
+            .value
+            .abs()
+            .partial_cmp(&raw[a].value.abs())
+            .expect("NaN peak")
+    });
+    let mut keep = vec![false; raw.len()];
+    for &cand in &by_strength {
+        let ok = raw
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| keep[*j])
+            .all(|(_, p)| p.index.abs_diff(raw[cand].index) >= min_distance);
+        if ok {
+            keep[cand] = true;
+        }
+    }
+    raw.into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect()
+}
+
+/// Detects the first tap of an impulse response: the earliest sample whose
+/// magnitude reaches `threshold` × the global peak, refined to the local
+/// maximum that follows it.
+///
+/// Returns `None` for silent or empty input.
+pub fn first_tap(ir: &[f64], threshold: f64) -> Option<Peak> {
+    let global = ir.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if global <= 0.0 {
+        return None;
+    }
+    let limit = threshold * global;
+    let onset = ir.iter().position(|v| v.abs() >= limit)?;
+    // Walk forward to the local maximum of |ir| starting at the onset.
+    let mut idx = onset;
+    while idx + 1 < ir.len() && ir[idx + 1].abs() >= ir[idx].abs() {
+        idx += 1;
+    }
+    Some(Peak {
+        index: idx,
+        position: refine(ir, idx),
+        value: ir[idx],
+    })
+}
+
+/// Zeroes every sample after `cutoff` (exclusive) — used to strip room
+/// reflections that arrive after the head/pinna taps (§4.6).
+pub fn truncate_after(ir: &mut [f64], cutoff: usize) {
+    for v in ir.iter_mut().skip(cutoff) {
+        *v = 0.0;
+    }
+}
+
+fn refine(signal: &[f64], i: usize) -> f64 {
+    if i == 0 || i + 1 >= signal.len() {
+        return i as f64;
+    }
+    let (ym, y0, yp) = (signal[i - 1].abs(), signal[i].abs(), signal[i + 1].abs());
+    let denom = ym - 2.0 * y0 + yp;
+    if denom.abs() < 1e-30 {
+        return i as f64;
+    }
+    i as f64 + (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::add_fractional_impulse;
+
+    #[test]
+    fn empty_and_silent() {
+        assert!(find_peaks(&[], 0.5, 1).is_empty());
+        assert!(find_peaks(&[0.0; 16], 0.5, 1).is_empty());
+        assert!(first_tap(&[0.0; 16], 0.3).is_none());
+    }
+
+    #[test]
+    fn single_peak_found() {
+        let mut s = vec![0.0; 32];
+        s[10] = 1.0;
+        let p = find_peaks(&s, 0.5, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 10);
+        assert_eq!(p[0].value, 1.0);
+    }
+
+    #[test]
+    fn negative_peaks_detected_by_magnitude() {
+        let mut s = vec![0.0; 32];
+        s[8] = -0.9;
+        s[20] = 0.5;
+        let p = find_peaks(&s, 0.3, 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].value, -0.9);
+    }
+
+    #[test]
+    fn threshold_suppresses_small_peaks() {
+        let mut s = vec![0.0; 32];
+        s[8] = 1.0;
+        s[20] = 0.2;
+        let p = find_peaks(&s, 0.5, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 8);
+    }
+
+    #[test]
+    fn min_distance_keeps_strongest() {
+        let mut s = vec![0.0; 64];
+        s[10] = 0.8;
+        s[13] = 1.0; // within 5 of 10; stronger wins
+        s[40] = 0.9;
+        let p = find_peaks(&s, 0.1, 5);
+        let idx: Vec<usize> = p.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![13, 40]);
+    }
+
+    #[test]
+    fn first_tap_prefers_earliest_strong_sample() {
+        let mut ir = vec![0.0; 100];
+        ir[30] = 0.6; // diffraction path (weaker)
+        ir[50] = 1.0; // reflection (stronger, later)
+        let tap = first_tap(&ir, 0.3).unwrap();
+        assert_eq!(tap.index, 30);
+    }
+
+    #[test]
+    fn first_tap_skips_subthreshold_noise() {
+        let mut ir = vec![0.005; 100];
+        ir[40] = 1.0;
+        let tap = first_tap(&ir, 0.2).unwrap();
+        assert_eq!(tap.index, 40);
+    }
+
+    #[test]
+    fn first_tap_subsample_accuracy() {
+        let mut ir = vec![0.0; 128];
+        add_fractional_impulse(&mut ir, 42.3, 1.0);
+        let tap = first_tap(&ir, 0.3).unwrap();
+        // Parabolic refinement on |sinc| is biased; 0.35 samples is enough
+        // for the pipeline (sub-sample TDoA uses correlation, not this).
+        assert!((tap.position - 42.3).abs() < 0.35, "pos {}", tap.position);
+    }
+
+    #[test]
+    fn truncate_after_zeroes_tail() {
+        let mut ir = vec![1.0; 10];
+        truncate_after(&mut ir, 4);
+        assert_eq!(&ir[..4], &[1.0; 4]);
+        assert_eq!(&ir[4..], &[0.0; 6]);
+    }
+
+    #[test]
+    fn first_tap_negative_polarity() {
+        let mut ir = vec![0.0; 64];
+        ir[25] = -1.0;
+        let tap = first_tap(&ir, 0.3).unwrap();
+        assert_eq!(tap.index, 25);
+        assert!(tap.value < 0.0);
+    }
+}

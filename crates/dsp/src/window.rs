@@ -1,0 +1,176 @@
+//! Analysis windows.
+//!
+//! Used for chirp shaping, windowed-sinc fractional delays and spectral
+//! estimation. All windows are symmetric (`w[k] == w[n-1-k]`).
+
+use std::f64::consts::PI;
+
+/// Window shapes supported by [`window`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowKind {
+    /// All-ones window.
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window (three-term).
+    Blackman,
+    /// Tukey (tapered cosine) window; the parameter is the taper fraction in
+    /// `[0, 1]`: 0 is rectangular, 1 is Hann.
+    Tukey(f64),
+}
+
+/// Generates a window of `n` samples.
+///
+/// Returns an empty vector for `n == 0` and `[1.0]` for `n == 1`.
+pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let m = (n - 1) as f64;
+    (0..n)
+        .map(|k| {
+            let x = k as f64 / m; // 0..1
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+                WindowKind::Blackman => {
+                    0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+                }
+                WindowKind::Tukey(alpha) => tukey_point(x, alpha.clamp(0.0, 1.0)),
+            }
+        })
+        .collect()
+}
+
+fn tukey_point(x: f64, alpha: f64) -> f64 {
+    if alpha <= 0.0 {
+        return 1.0;
+    }
+    let half = alpha / 2.0;
+    if x < half {
+        0.5 * (1.0 + (PI * (x / half - 1.0)).cos())
+    } else if x > 1.0 - half {
+        0.5 * (1.0 + (PI * ((x - 1.0) / half + 1.0)).cos())
+    } else {
+        1.0
+    }
+}
+
+/// Multiplies a signal by a window of the same length, in place.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn apply_window(signal: &mut [f64], win: &[f64]) {
+    assert_eq!(
+        signal.len(),
+        win.len(),
+        "apply_window: length mismatch ({} vs {})",
+        signal.len(),
+        win.len()
+    );
+    for (s, w) in signal.iter_mut().zip(win) {
+        *s *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric(w: &[f64]) -> bool {
+        let n = w.len();
+        (0..n).all(|k| (w[k] - w[n - 1 - k]).abs() < 1e-12)
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(window(WindowKind::Hann, 0).is_empty());
+        assert_eq!(window(WindowKind::Hann, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn all_windows_symmetric() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Tukey(0.3),
+        ] {
+            let w = window(kind, 33);
+            assert!(symmetric(&w), "{kind:?} not symmetric");
+            let w = window(kind, 32);
+            assert!(symmetric(&w), "{kind:?} (even) not symmetric");
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_zero_peak_one() {
+        let w = window(WindowKind::Hann, 65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = window(WindowKind::Hamming, 11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tukey_zero_is_rectangular() {
+        let w = window(WindowKind::Tukey(0.0), 16);
+        assert!(w.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn tukey_one_close_to_hann() {
+        let t = window(WindowKind::Tukey(1.0), 64);
+        let h = window(WindowKind::Hann, 64);
+        for (a, b) in t.iter().zip(&h) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tukey_has_flat_middle() {
+        let w = window(WindowKind::Tukey(0.2), 101);
+        assert!((w[50] - 1.0).abs() < 1e-12);
+        assert!((w[40] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        for kind in [
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Tukey(0.5),
+        ] {
+            for &v in &window(kind, 57) {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{kind:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_window_scales() {
+        let mut s = vec![2.0; 4];
+        apply_window(&mut s, &[0.0, 0.5, 1.0, 0.25]);
+        assert_eq!(s, vec![0.0, 1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_window_length_mismatch_panics() {
+        let mut s = vec![1.0; 3];
+        apply_window(&mut s, &[1.0; 4]);
+    }
+}

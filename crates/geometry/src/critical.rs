@@ -1,0 +1,209 @@
+//! Critical rays for near-far conversion (§4.3, Fig 12 of the paper).
+//!
+//! To synthesize the far-field HRTF at angle `θ` from near-field
+//! measurements on a (roughly circular) trajectory of radius `r`, the paper
+//! identifies three critical rays, all parallel to the far-field direction:
+//!
+//! * ray `C–Q` passes through the head and is normal to the boundary at
+//!   `Q` — it splits rays into "bend left" and "bend right";
+//! * ray `B–L` grazes the head at the tangent point feeding the **left**
+//!   ear;
+//! * ray `D–R` grazes at the tangent point feeding the **right** ear.
+//!
+//! Near-field measurements taken at trajectory angles inside arc `[C, B]`
+//! contribute to the far-field **left**-ear HRTF; those in `[C, D]` to the
+//! **right**. Outside `[B, D]` the rays miss the head entirely.
+
+use crate::head::{Ear, HeadBoundary};
+use crate::vec2::{theta_from_vec, unit_from_theta, Vec2};
+
+/// Trajectory angles (degrees, paper convention) of the three critical
+/// points for one far-field direction.
+#[derive(Debug, Clone, Copy)]
+pub struct CriticalAngles {
+    /// Arc endpoint feeding the left ear (tangent ray `B`).
+    pub theta_b: f64,
+    /// Central ray `C` — the trajectory point in the source direction.
+    pub theta_c: f64,
+    /// Arc endpoint feeding the right ear (tangent ray `D`).
+    pub theta_d: f64,
+}
+
+impl CriticalAngles {
+    /// `true` when trajectory angle `phi` lies on the (shorter) arc between
+    /// `C` and `B` — i.e. its near-field measurement feeds the left ear.
+    pub fn feeds_left(&self, phi: f64) -> bool {
+        on_arc(self.theta_c, self.theta_b, phi)
+    }
+
+    /// `true` when `phi` lies on the arc between `C` and `D` (right ear).
+    pub fn feeds_right(&self, phi: f64) -> bool {
+        on_arc(self.theta_c, self.theta_d, phi)
+    }
+}
+
+/// Whether angle `x` (degrees) lies on the shorter arc from `from` to `to`.
+fn on_arc(from: f64, to: f64, x: f64) -> bool {
+    let span = (to - from).rem_euclid(360.0);
+    let off = (x - from).rem_euclid(360.0);
+    if span <= 180.0 {
+        off <= span + 1e-9
+    } else {
+        // Shorter arc goes the other way.
+        off >= span - 1e-9 || off <= 1e-9
+    }
+}
+
+/// Computes the critical trajectory angles for far-field direction
+/// `theta_deg` and a measurement trajectory of radius `radius` metres.
+///
+/// # Panics
+/// Panics if the trajectory radius does not clear the head.
+pub fn critical_angles(
+    boundary: &HeadBoundary,
+    theta_deg: f64,
+    radius: f64,
+) -> CriticalAngles {
+    assert!(
+        radius > boundary.params().max_radius() * 1.05,
+        "trajectory radius {radius} m does not clear the head"
+    );
+
+    // Propagation direction of the far-field rays.
+    let dir = -unit_from_theta(theta_deg);
+    let n = dir.perp();
+
+    // Tangent points: boundary extremes along the perpendicular axis.
+    let verts = boundary.vertices();
+    let mut lo = 0;
+    let mut hi = 0;
+    for (k, v) in verts.iter().enumerate() {
+        if v.dot(n) < verts[lo].dot(n) {
+            lo = k;
+        }
+        if v.dot(n) > verts[hi].dot(n) {
+            hi = k;
+        }
+    }
+
+    // A graze ray through tangent point T, travelling along `dir`, crossed
+    // the trajectory circle upstream at T − dir·s (s > 0).
+    let upstream = |t: Vec2| -> f64 {
+        // Solve |t − dir·s| = radius for the s > 0 root.
+        let b = -2.0 * t.dot(dir);
+        let c = t.norm_sqr() - radius * radius;
+        let disc = b * b - 4.0 * c;
+        debug_assert!(disc > 0.0, "graze ray misses the trajectory circle");
+        let s = (-b + disc.sqrt()) / 2.0;
+        theta_from_vec(t - dir * s)
+    };
+
+    // Decide which tangent feeds the left ear: the one whose boundary arc
+    // (continuing along the bend) reaches the left ear without passing the
+    // other tangent. Equivalently, the tangent point closer to the left ear
+    // along the boundary.
+    let left_idx = boundary.ear_index(Ear::Left);
+    let arc_to_left = |idx: usize| -> f64 {
+        boundary
+            .arc_ccw(idx, left_idx)
+            .min(boundary.arc_cw(idx, left_idx))
+    };
+    let (left_tangent, right_tangent) = if arc_to_left(lo) <= arc_to_left(hi) {
+        (verts[lo], verts[hi])
+    } else {
+        (verts[hi], verts[lo])
+    };
+
+    CriticalAngles {
+        theta_b: upstream(left_tangent),
+        theta_c: theta_deg.rem_euclid(360.0),
+        theta_d: upstream(right_tangent),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::head::HeadParams;
+    use crate::vec2::angle_diff_deg;
+
+    fn boundary() -> HeadBoundary {
+        HeadBoundary::new(HeadParams::average_adult(), 1024)
+    }
+
+    #[test]
+    fn c_is_at_source_angle() {
+        let b = boundary();
+        for theta in [0.0, 45.0, 90.0, 170.0] {
+            let ca = critical_angles(&b, theta, 0.4);
+            assert!((ca.theta_c - theta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn b_and_d_straddle_c() {
+        let b = boundary();
+        let ca = critical_angles(&b, 60.0, 0.4);
+        // B and D should be on opposite sides of C, within ~45° for this
+        // radius/head ratio.
+        let db = angle_diff_deg(ca.theta_b, ca.theta_c);
+        let dd = angle_diff_deg(ca.theta_d, ca.theta_c);
+        assert!(db > 1.0 && db < 45.0, "B offset {db}");
+        assert!(dd > 1.0 && dd < 45.0, "D offset {dd}");
+        // Opposite sides: the B→D arc through C spans roughly db + dd.
+        let span = angle_diff_deg(ca.theta_b, ca.theta_d);
+        assert!((span - (db + dd)).abs() < 1.0, "B and D on the same side");
+    }
+
+    #[test]
+    fn left_arc_is_toward_left_ear() {
+        // For a frontal source (θ=0, C at front), the left-ear arc endpoint
+        // B must sit at a *larger* polar angle than C (toward 90° = left).
+        let b = boundary();
+        let ca = critical_angles(&b, 0.0, 0.4);
+        let b_off = (ca.theta_b - ca.theta_c).rem_euclid(360.0);
+        assert!(
+            b_off < 180.0,
+            "B not on the left side: θ_b={} θ_c={}",
+            ca.theta_b,
+            ca.theta_c
+        );
+        let d_off = (ca.theta_d - ca.theta_c).rem_euclid(360.0);
+        assert!(d_off > 180.0, "D not on the right side: θ_d={}", ca.theta_d);
+    }
+
+    #[test]
+    fn membership_tests() {
+        let b = boundary();
+        let ca = critical_angles(&b, 45.0, 0.4);
+        // C itself feeds both ears.
+        assert!(ca.feeds_left(ca.theta_c));
+        assert!(ca.feeds_right(ca.theta_c));
+        // B feeds left only; D feeds right only.
+        assert!(ca.feeds_left(ca.theta_b));
+        assert!(!ca.feeds_right(ca.theta_b));
+        assert!(ca.feeds_right(ca.theta_d));
+        assert!(!ca.feeds_left(ca.theta_d));
+        // A point far outside both arcs feeds neither.
+        let far = ca.theta_c + 180.0;
+        assert!(!ca.feeds_left(far));
+        assert!(!ca.feeds_right(far));
+    }
+
+    #[test]
+    fn wider_radius_narrows_arcs() {
+        // Farther trajectories see the head under a smaller angle, so the
+        // B–D span shrinks.
+        let b = boundary();
+        let near = critical_angles(&b, 90.0, 0.3);
+        let far = critical_angles(&b, 90.0, 0.8);
+        let span = |ca: &CriticalAngles| angle_diff_deg(ca.theta_b, ca.theta_d);
+        assert!(span(&far) < span(&near));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not clear the head")]
+    fn radius_inside_head_rejected() {
+        critical_angles(&boundary(), 0.0, 0.05);
+    }
+}

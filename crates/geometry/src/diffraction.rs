@@ -1,0 +1,352 @@
+//! Shortest wrap paths from a point source around the head to an ear.
+//!
+//! Physics (§2 of the paper): audible sound does not penetrate the head;
+//! when the straight line from the phone to an ear is occluded, the signal
+//! creeps around the convex boundary. The shortest such path — the
+//! *taut-string geodesic* — is a straight tangent segment from the source
+//! to the boundary followed by an arc along the boundary to the ear.
+//!
+//! On the discretized boundary this is computed exactly for the polygon:
+//! the geodesic is `min` over the two source tangent vertices and the two
+//! wrap directions of `|src→T| + arc(T→ear)`; non-geodesic combinations are
+//! strictly longer (taut-string argument), so the minimum is safe.
+
+use crate::head::{Ear, HeadBoundary};
+use crate::vec2::Vec2;
+
+/// A resolved propagation path from a source point to an ear.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffractionPath {
+    /// Total path length in metres (straight segment + wrap arc).
+    pub length: f64,
+    /// Boundary angle subtended by the wrap arc, radians (0 when direct).
+    /// Used by the frequency-dependent shadow attenuation model.
+    pub wrap_angle: f64,
+    /// `true` when the ear is in line of sight of the source.
+    pub direct: bool,
+    /// Unit direction of propagation as the wave arrives at the ear
+    /// (drives the angle-sensitive pinna model).
+    pub arrival_dir: Vec2,
+}
+
+/// Computes the shortest diffraction path from `src` to the given ear.
+///
+/// ```
+/// use uniq_geometry::{HeadBoundary, HeadParams, Ear, Vec2};
+/// use uniq_geometry::diffraction::path_to_ear;
+/// let b = HeadBoundary::new(HeadParams::average_adult(), 256);
+/// let phone = Vec2::new(-0.4, 0.0);              // 40 cm to the left
+/// let near = path_to_ear(&b, phone, Ear::Left).unwrap();
+/// let far = path_to_ear(&b, phone, Ear::Right).unwrap();
+/// assert!(near.direct && !far.direct);           // far ear is shadowed
+/// assert!(far.length > near.length + 0.1);       // and its path wraps
+/// ```
+///
+/// Returns `None` when `src` lies strictly inside the head (no physical
+/// path; optimizers treat this as an infeasible candidate).
+pub fn path_to_ear(boundary: &HeadBoundary, src: Vec2, ear: Ear) -> Option<DiffractionPath> {
+    path_to_vertex(boundary, src, boundary.ear_index(ear))
+}
+
+/// Computes the shortest diffraction path from `src` to an arbitrary
+/// boundary vertex (e.g. a test microphone taped to the cheek, Fig 5).
+///
+/// Returns `None` when `src` lies strictly inside the head.
+pub fn path_to_vertex(
+    boundary: &HeadBoundary,
+    src: Vec2,
+    target_idx: usize,
+) -> Option<DiffractionPath> {
+    if boundary.contains(src) {
+        return None;
+    }
+    let n = boundary.len();
+    let target_idx = target_idx % n;
+    let target = boundary.vertices()[target_idx];
+
+    if boundary.segment_clear(src, target) {
+        let d = target - src;
+        let len = d.norm();
+        let arrival = if len > 0.0 {
+            d / len
+        } else {
+            // Source coincides with the target: degenerate but harmless.
+            Vec2::new(1.0, 0.0)
+        };
+        return Some(DiffractionPath {
+            length: len,
+            wrap_angle: 0.0,
+            direct: true,
+            arrival_dir: arrival,
+        });
+    }
+
+    // Tangent vertices: extremes of the signed angle of each vertex as seen
+    // from src (convex body subtends < π from outside, so the reference
+    // direction toward the head centre gives a branch-safe angle).
+    let to_center = (-src).normalized();
+    let base = to_center.angle();
+    let signed_angle = |v: Vec2| -> f64 {
+        let ang = (v - src).angle() - base;
+        // Wrap to (-π, π].
+        let mut a = ang.rem_euclid(2.0 * std::f64::consts::PI);
+        if a > std::f64::consts::PI {
+            a -= 2.0 * std::f64::consts::PI;
+        }
+        a
+    };
+    let mut t_min = 0;
+    let mut t_max = 0;
+    let mut a_min = f64::INFINITY;
+    let mut a_max = f64::NEG_INFINITY;
+    for (k, &v) in boundary.vertices().iter().enumerate() {
+        let a = signed_angle(v);
+        if a < a_min {
+            a_min = a;
+            t_min = k;
+        }
+        if a > a_max {
+            a_max = a;
+            t_max = k;
+        }
+    }
+
+    let mut best: Option<(f64, usize, bool)> = None; // (length, tangent idx, ccw)
+    for &t_idx in &[t_min, t_max] {
+        let t_vert = boundary.vertices()[t_idx];
+        let seg = src.dist(t_vert);
+        for ccw in [true, false] {
+            let arc = if ccw {
+                boundary.arc_ccw(t_idx, target_idx)
+            } else {
+                boundary.arc_cw(t_idx, target_idx)
+            };
+            let total = seg + arc;
+            if best.map_or(true, |(l, _, _)| total < l) {
+                best = Some((total, t_idx, ccw));
+            }
+        }
+    }
+    let (length, t_idx, ccw) = best.expect("two tangent candidates always exist");
+
+    // Arrival direction: boundary tangent at the target, oriented along the
+    // traversal direction of the final wrap step.
+    let prev = boundary.vertices()[(target_idx + n - 1) % n];
+    let next = boundary.vertices()[(target_idx + 1) % n];
+    let arrival_dir = if ccw {
+        (target - prev).normalized()
+    } else {
+        (target - next).normalized()
+    };
+
+    // Wrap angle: total turning of the boundary tangent along the arc.
+    let wrap_angle = turning_angle(boundary, t_idx, target_idx, ccw);
+
+    Some(DiffractionPath {
+        length,
+        wrap_angle,
+        direct: false,
+        arrival_dir,
+    })
+}
+
+/// Convenience: paths to both ears as `[left, right]`.
+pub fn paths_to_ears(boundary: &HeadBoundary, src: Vec2) -> Option<[DiffractionPath; 2]> {
+    Some([
+        path_to_ear(boundary, src, Ear::Left)?,
+        path_to_ear(boundary, src, Ear::Right)?,
+    ])
+}
+
+/// Sum of exterior turning angles along the boundary from vertex `i` to
+/// vertex `j` in the given direction (radians, non-negative for the convex
+/// boundary).
+fn turning_angle(boundary: &HeadBoundary, i: usize, j: usize, ccw: bool) -> f64 {
+    let n = boundary.len();
+    let verts = boundary.vertices();
+    let step = |k: usize| -> usize {
+        if ccw {
+            (k + 1) % n
+        } else {
+            (k + n - 1) % n
+        }
+    };
+    let mut total = 0.0;
+    let mut k = i;
+    let mut prev_dir: Option<Vec2> = None;
+    // Bounded walk (at most n steps) from i to j.
+    for _ in 0..n {
+        if k == j {
+            break;
+        }
+        let nk = step(k);
+        let dir = (verts[nk] - verts[k]).normalized();
+        if let Some(p) = prev_dir {
+            let cross = p.cross(dir).clamp(-1.0, 1.0);
+            total += cross.asin().abs();
+        }
+        prev_dir = Some(dir);
+        k = nk;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::head::HeadParams;
+    use crate::vec2::unit_from_theta;
+
+    fn boundary() -> HeadBoundary {
+        HeadBoundary::new(HeadParams::average_adult(), 1024)
+    }
+
+    #[test]
+    fn near_ear_is_direct() {
+        let b = boundary();
+        // Source on the left of the head, left ear visible.
+        let src = Vec2::new(-0.4, 0.0);
+        let p = path_to_ear(&b, src, Ear::Left).unwrap();
+        assert!(p.direct);
+        assert!((p.length - (0.4 - 0.075)).abs() < 1e-6);
+        assert_eq!(p.wrap_angle, 0.0);
+    }
+
+    #[test]
+    fn far_ear_is_wrapped() {
+        let b = boundary();
+        let src = Vec2::new(-0.4, 0.0);
+        let p = path_to_ear(&b, src, Ear::Right).unwrap();
+        assert!(!p.direct);
+        assert!(p.wrap_angle > 0.5, "wrap angle {}", p.wrap_angle);
+        // Must exceed the Euclidean distance (0.475) but be shorter than
+        // going around via straight + half perimeter.
+        let euclid = 0.4 + 0.075;
+        assert!(p.length > euclid);
+        assert!(p.length < euclid + 0.3);
+    }
+
+    #[test]
+    fn wrap_length_exceeds_euclid_always() {
+        let b = boundary();
+        for k in 0..36 {
+            let theta = k as f64 * 10.0;
+            let src = unit_from_theta(theta) * 0.35;
+            for ear in Ear::BOTH {
+                let p = path_to_ear(&b, src, ear).unwrap();
+                let euclid = src.dist(b.params().ear(ear));
+                assert!(
+                    p.length >= euclid - 1e-9,
+                    "θ={theta} ear={ear:?}: {} < {euclid}",
+                    p.length
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontal_source_nearly_symmetric() {
+        let b = boundary();
+        let src = Vec2::new(0.0, 0.5); // straight ahead
+        let l = path_to_ear(&b, src, Ear::Left).unwrap();
+        let r = path_to_ear(&b, src, Ear::Right).unwrap();
+        assert!((l.length - r.length).abs() < 1e-4);
+    }
+
+    #[test]
+    fn source_inside_head_rejected() {
+        let b = boundary();
+        assert!(path_to_ear(&b, Vec2::ZERO, Ear::Left).is_none());
+        assert!(paths_to_ears(&b, Vec2::new(0.01, 0.01)).is_none());
+    }
+
+    #[test]
+    fn tdoa_monotone_with_angle() {
+        // As the source sweeps from front (0°) toward the left ear (90°),
+        // the left-right path difference grows.
+        let b = boundary();
+        let mut prev = f64::NEG_INFINITY;
+        for theta in [0.0, 30.0, 60.0, 90.0] {
+            let src = unit_from_theta(theta) * 0.4;
+            let [l, r] = paths_to_ears(&b, src).unwrap();
+            let delta = r.length - l.length;
+            assert!(
+                delta > prev - 1e-9,
+                "TDoA not monotone at θ={theta}: {delta} <= {prev}"
+            );
+            prev = delta;
+        }
+    }
+
+    #[test]
+    fn shadowed_path_matches_tangent_plus_arc_for_circle() {
+        // For a circular head (a = b = c = R) the wrap geodesic has the
+        // closed form √(d² − R²) + R·(φ_wrap). Validate against it.
+        let r0 = 0.08;
+        let b = HeadBoundary::new(HeadParams::new(r0, r0, r0), 4096);
+        let d = 0.5;
+        let src = Vec2::new(d, 0.0); // at the right ear side
+        let p = path_to_ear(&b, src, Ear::Left).unwrap();
+        // Tangent length from src to circle.
+        let tan_len = (d * d - r0 * r0).sqrt();
+        // Angle from src-tangent point to the left ear along the circle:
+        // tangent point at angle β from +x where cos β = R/d; ear at π.
+        let beta = (r0 / d).acos();
+        let arc = r0 * (std::f64::consts::PI - beta);
+        let expect = tan_len + arc;
+        assert!(
+            (p.length - expect).abs() < 2e-4,
+            "got {}, closed form {expect}",
+            p.length
+        );
+        // Wrap angle should equal the arc's central angle for a circle.
+        assert!((p.wrap_angle - (std::f64::consts::PI - beta)).abs() < 0.02);
+    }
+
+    #[test]
+    fn arrival_direction_is_unit() {
+        let b = boundary();
+        for theta in [0.0, 45.0, 135.0, 225.0, 315.0] {
+            let src = unit_from_theta(theta) * 0.3;
+            for ear in Ear::BOTH {
+                let p = path_to_ear(&b, src, ear).unwrap();
+                assert!((p.arrival_dir.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_cheek_vertex() {
+        let b = boundary();
+        // Speaker on the right; microphone taped a quarter of the way along
+        // the front-left face (the Fig 5 setup).
+        let src = Vec2::new(0.5, 0.1);
+        let mic_idx = b.len() * 3 / 8; // front-left region
+        let p = path_to_vertex(&b, src, mic_idx).unwrap();
+        assert!(p.length > 0.0);
+        // Must never beat the straight-line distance.
+        let euclid = src.dist(b.vertices()[mic_idx]);
+        assert!(p.length >= euclid - 1e-9);
+    }
+
+    #[test]
+    fn continuity_across_shadow_edge() {
+        // Path length should vary continuously as the source crosses from
+        // lit to shadowed regions.
+        let b = boundary();
+        let mut last: Option<f64> = None;
+        for k in 0..=200 {
+            let theta = k as f64 * 180.0 / 200.0;
+            let src = unit_from_theta(theta) * 0.4;
+            let p = path_to_ear(&b, src, Ear::Right).unwrap();
+            if let Some(prev) = last {
+                assert!(
+                    (p.length - prev).abs() < 5e-3,
+                    "jump at θ={theta}: {prev} -> {}",
+                    p.length
+                );
+            }
+            last = Some(p.length);
+        }
+    }
+}

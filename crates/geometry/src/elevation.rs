@@ -1,0 +1,371 @@
+//! 3-D HRTF geometry — the paper's §7 "3D HRTF" extension.
+//!
+//! The 2-D prototype covers the horizontal plane; extending to elevation
+//! "is viable — the user would now need to move the phone on a sphere
+//! around the head, and the motion tracking equations need to be extended
+//! to 3D." This module provides the geometric core of that extension:
+//!
+//! * [`Vec3`] — 3-D points/vectors;
+//! * [`Head3`] — the two-half-ellipsoid head: the paper's `(a, b, c)`
+//!   cross-section extruded with a vertical semi-axis `h`;
+//! * [`path_to_ear_3d`] — wrap paths from arbitrary 3-D source positions,
+//!   via the **plane-section approximation**: the geodesic is computed in
+//!   the plane spanned by the source and the ear through the head centre
+//!   (exact for spheres, accurate to first order in eccentricity
+//!   otherwise), using the generic convex wrap of [`crate::convex`];
+//! * [`plane_itd_3d`] — far-field interaural delays over (azimuth,
+//!   elevation), exhibiting the *cone of confusion* that makes elevation
+//!   hard for ITD-only systems.
+
+use crate::convex::ConvexPolygon;
+use crate::head::{Ear, HeadParams};
+use crate::vec2::Vec2;
+
+/// A 3-D vector / point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Lateral (through the ears, +x toward the right ear).
+    pub x: f64,
+    /// Frontal (+y out of the nose).
+    pub y: f64,
+    /// Vertical (+z up).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector.
+    ///
+    /// # Panics
+    /// Panics for the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        Vec3::new(self.x / n, self.y / n, self.z / n)
+    }
+
+    /// Difference.
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Scale.
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Distance.
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.sub(o).norm()
+    }
+
+    /// Direction for (azimuth, elevation) in the paper's convention:
+    /// azimuth `θ` as in 2-D (0 = front, 90 = left), elevation `φ` in
+    /// degrees above the horizontal plane.
+    pub fn from_angles(theta_deg: f64, elevation_deg: f64) -> Vec3 {
+        let horiz = crate::vec2::unit_from_theta(theta_deg);
+        let (se, ce) = elevation_deg.to_radians().sin_cos();
+        Vec3::new(horiz.x * ce, horiz.y * ce, se)
+    }
+}
+
+/// The two-half-ellipsoid head: the paper's `(a, b, c)` horizontal
+/// cross-section with a vertical semi-axis `h`.
+#[derive(Debug, Clone, Copy)]
+pub struct Head3 {
+    /// Horizontal parameters (the paper's `E`).
+    pub planar: HeadParams,
+    /// Vertical semi-axis, metres.
+    pub h: f64,
+}
+
+impl Head3 {
+    /// Average adult: horizontal average plus an 11 cm vertical semi-axis.
+    pub fn average_adult() -> Self {
+        Head3 {
+            planar: HeadParams::average_adult(),
+            h: 0.11,
+        }
+    }
+
+    /// Validated construction.
+    ///
+    /// # Panics
+    /// Panics on implausible axes.
+    pub fn new(planar: HeadParams, h: f64) -> Self {
+        planar.validate();
+        assert!(
+            (0.02..=0.30).contains(&h),
+            "vertical semi-axis {h} m outside plausible range"
+        );
+        Head3 { planar, h }
+    }
+
+    /// Ear positions (on the ear axis, z = 0).
+    pub fn ear(&self, ear: Ear) -> Vec3 {
+        let e2 = self.planar.ear(ear);
+        Vec3::new(e2.x, e2.y, 0.0)
+    }
+
+    /// Distance from the centre to the surface along unit direction `d`
+    /// (piecewise front/back like the 2-D model).
+    pub fn surface_radius(&self, d: Vec3) -> f64 {
+        let sy = if d.y >= 0.0 {
+            self.planar.b
+        } else {
+            self.planar.c
+        };
+        let q = (d.x / self.planar.a).powi(2)
+            + (d.y / sy).powi(2)
+            + (d.z / self.h).powi(2);
+        1.0 / q.sqrt()
+    }
+
+    /// `true` when `p` is strictly inside the head.
+    pub fn contains(&self, p: Vec3) -> bool {
+        let n = p.norm();
+        if n == 0.0 {
+            return true;
+        }
+        n < self.surface_radius(p.normalized()) - 1e-12
+    }
+}
+
+/// A 3-D wrap path result.
+#[derive(Debug, Clone, Copy)]
+pub struct Path3 {
+    /// Total path length, metres.
+    pub length: f64,
+    /// Wrap (turning) angle in the section plane, radians.
+    pub wrap_angle: f64,
+    /// Whether the ear is in line of sight.
+    pub direct: bool,
+}
+
+/// Default cross-section polygon resolution (forward/truth model).
+pub const SECTION_RESOLUTION: usize = 512;
+
+/// Shortest wrap path from a 3-D source to an ear, via the plane-section
+/// approximation. Returns `None` when the source is inside the head.
+pub fn path_to_ear_3d(head: &Head3, src: Vec3, ear: Ear) -> Option<Path3> {
+    path_to_ear_3d_res(head, src, ear, SECTION_RESOLUTION)
+}
+
+/// [`path_to_ear_3d`] with an explicit cross-section resolution — inverse
+/// solvers use a coarser polygon for speed (and realistic model mismatch).
+///
+/// # Panics
+/// Panics if `resolution < 16`.
+pub fn path_to_ear_3d_res(
+    head: &Head3,
+    src: Vec3,
+    ear: Ear,
+    resolution: usize,
+) -> Option<Path3> {
+    assert!(resolution >= 16, "cross-section needs at least 16 vertices");
+    if head.contains(src) {
+        return None;
+    }
+    let e = head.ear(ear);
+
+    // Section plane basis: e1 toward the ear, e2 the in-plane component
+    // of the source direction. Degenerate (collinear) sources fall back to
+    // the vertical plane.
+    let e1 = e.normalized();
+    let mut ortho = src.sub(e1.scale(src.dot(e1)));
+    if ortho.norm() < 1e-9 {
+        // Source along the ear axis: any section plane works; use the one
+        // containing +z.
+        ortho = Vec3::new(0.0, 0.0, 1.0).sub(e1.scale(e1.z));
+    }
+    let e2 = ortho.normalized();
+
+    // Sample the cross-section: for angle t, direction d(t) in the plane,
+    // surface point r(t)·d(t) projected to plane coordinates.
+    let verts: Vec<Vec2> = (0..resolution)
+        .map(|k| {
+            let t = std::f64::consts::TAU * k as f64 / resolution as f64;
+            let d = e1.scale(t.cos()).addv(e2.scale(t.sin()));
+            let r = head.surface_radius(d.normalized());
+            Vec2::new(r * t.cos(), r * t.sin())
+        })
+        .collect();
+    let poly = ConvexPolygon::new(verts);
+
+    let src2d = Vec2::new(src.dot(e1), src.dot(e2));
+    // The ear is vertex 0 by construction (t = 0 points at the ear and the
+    // ear lies on the surface).
+    let path = poly.wrap_to_vertex(src2d, 0)?;
+    Some(Path3 {
+        length: path.length,
+        wrap_angle: path.wrap_angle,
+        direct: path.direct,
+    })
+}
+
+impl Vec3 {
+    /// Component-wise addition (named to avoid an operator-impl explosion
+    /// for this prototype module).
+    pub fn addv(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+/// Far-field interaural path difference (right minus left, metres) for a
+/// plane wave from `(azimuth, elevation)`.
+///
+/// ```
+/// use uniq_geometry::elevation::{plane_itd_3d, Head3};
+/// let head = Head3::average_adult();
+/// let flat = plane_itd_3d(&head, 90.0, 0.0);
+/// let raised = plane_itd_3d(&head, 90.0, 60.0);
+/// assert!(raised < flat);   // the cone of confusion narrows with elevation
+/// ```
+pub fn plane_itd_3d(head: &Head3, theta_deg: f64, elevation_deg: f64) -> f64 {
+    const FAR: f64 = 100.0;
+    let src = Vec3::from_angles(theta_deg, elevation_deg).scale(FAR);
+    let l = path_to_ear_3d(head, src, Ear::Left).expect("far source outside head");
+    let r = path_to_ear_3d(head, src, Ear::Right).expect("far source outside head");
+    r.length - l.length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planewave::plane_itd_metres;
+    use crate::HeadBoundary;
+
+    fn head() -> Head3 {
+        Head3::average_adult()
+    }
+
+    #[test]
+    fn vec3_angles_convention() {
+        let front = Vec3::from_angles(0.0, 0.0);
+        assert!((front.y - 1.0).abs() < 1e-12 && front.z.abs() < 1e-12);
+        let up = Vec3::from_angles(0.0, 90.0);
+        assert!((up.z - 1.0).abs() < 1e-12);
+        let left = Vec3::from_angles(90.0, 0.0);
+        assert!((left.x + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_and_containment() {
+        let h = head();
+        assert!(h.contains(Vec3::ZERO));
+        assert!(!h.contains(Vec3::new(0.0, 0.0, 0.12)));
+        assert!(h.contains(Vec3::new(0.0, 0.0, 0.10)));
+        // Surface radius along axes.
+        assert!((h.surface_radius(Vec3::new(1.0, 0.0, 0.0)) - 0.075).abs() < 1e-12);
+        assert!((h.surface_radius(Vec3::new(0.0, 1.0, 0.0)) - 0.100).abs() < 1e-12);
+        assert!((h.surface_radius(Vec3::new(0.0, -1.0, 0.0)) - 0.090).abs() < 1e-12);
+        assert!((h.surface_radius(Vec3::new(0.0, 0.0, 1.0)) - 0.110).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elevation_matches_2d_machinery() {
+        // In the horizontal plane the 3-D path must agree with the 2-D
+        // model (same geometry, different code path).
+        let h3 = head();
+        let b2 = HeadBoundary::new(h3.planar, 2048);
+        for theta in [20.0, 60.0, 110.0, 160.0] {
+            let itd3 = plane_itd_3d(&h3, theta, 0.0);
+            let itd2 = plane_itd_metres(&b2, theta);
+            assert!(
+                (itd3 - itd2).abs() < 2e-3,
+                "θ={theta}: 3D {itd3} vs 2D {itd2}"
+            );
+        }
+    }
+
+    #[test]
+    fn elevation_shrinks_itd() {
+        // Raising the source toward the pole shortens the interaural
+        // difference — the cone-of-confusion geometry.
+        let h = head();
+        let flat = plane_itd_3d(&h, 90.0, 0.0);
+        let raised = plane_itd_3d(&h, 90.0, 45.0);
+        let high = plane_itd_3d(&h, 90.0, 75.0);
+        assert!(raised < flat, "{raised} vs {flat}");
+        assert!(high < raised, "{high} vs {raised}");
+        assert!(high > 0.0);
+    }
+
+    #[test]
+    fn overhead_source_is_symmetric() {
+        let h = head();
+        let itd = plane_itd_3d(&h, 0.0, 89.9);
+        assert!(itd.abs() < 1e-3, "overhead ITD {itd}");
+    }
+
+    #[test]
+    fn cone_of_confusion_is_flat_in_itd() {
+        // Keeping the angle to the ear axis fixed while changing
+        // elevation leaves the ITD nearly constant — the ambiguity that
+        // pinna cues (and personalized HRTFs) must break.
+        let h = head();
+        // Points on the cone at 45° from the +x (right-ear) axis:
+        // x = cos45, sqrt(y² + z²) = sin45.
+        let on_cone = |roll_deg: f64| -> Vec3 {
+            let (sr, cr) = roll_deg.to_radians().sin_cos();
+            Vec3::new(
+                std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2 * cr,
+                std::f64::consts::FRAC_1_SQRT_2 * sr,
+            )
+            .scale(100.0)
+        };
+        let itd_at = |roll: f64| {
+            let src = on_cone(roll);
+            let l = path_to_ear_3d(&h, src, Ear::Left).unwrap().length;
+            let r = path_to_ear_3d(&h, src, Ear::Right).unwrap().length;
+            r - l
+        };
+        let base = itd_at(0.0);
+        for roll in [20.0, 45.0, 70.0] {
+            let itd = itd_at(roll);
+            assert!(
+                (itd - base).abs() < 0.015,
+                "cone not flat at roll {roll}: {itd} vs {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_inside_rejected() {
+        assert!(path_to_ear_3d(&head(), Vec3::new(0.01, 0.0, 0.02), Ear::Left).is_none());
+    }
+
+    #[test]
+    fn shadowed_3d_path_wraps() {
+        let h = head();
+        let src = Vec3::new(-50.0, 0.0, 0.0); // far left
+        let r = path_to_ear_3d(&h, src, Ear::Right).unwrap();
+        assert!(!r.direct);
+        assert!(r.wrap_angle > 0.5);
+        let l = path_to_ear_3d(&h, src, Ear::Left).unwrap();
+        assert!(l.direct);
+        assert!(r.length > l.length);
+    }
+}

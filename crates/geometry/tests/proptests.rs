@@ -1,0 +1,146 @@
+//! Property-based tests for the diffraction geometry.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use uniq_geometry::diffraction::path_to_ear;
+use uniq_geometry::planewave::{plane_itd_metres, plane_path_to_ear};
+use uniq_geometry::vec2::{angle_diff_deg, theta_from_vec, unit_from_theta, Vec2};
+use uniq_geometry::{Ear, HeadBoundary, HeadParams};
+
+fn boundary() -> &'static HeadBoundary {
+    static B: OnceLock<HeadBoundary> = OnceLock::new();
+    B.get_or_init(|| HeadBoundary::new(HeadParams::average_adult(), 1024))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theta_roundtrip(theta in 0.0..360.0f64, r in 0.2..5.0f64) {
+        let v = unit_from_theta(theta) * r;
+        prop_assert!(angle_diff_deg(theta_from_vec(v), theta) < 1e-9);
+    }
+
+    #[test]
+    fn wrap_never_shorter_than_euclid(theta in 0.0..360.0f64, r in 0.25..2.0f64) {
+        let src = unit_from_theta(theta) * r;
+        for ear in Ear::BOTH {
+            let p = path_to_ear(boundary(), src, ear).unwrap();
+            let euclid = src.dist(boundary().params().ear(ear));
+            prop_assert!(p.length >= euclid - 1e-9,
+                "θ={theta} r={r} {ear:?}: {} < {euclid}", p.length);
+        }
+    }
+
+    #[test]
+    fn wrap_bounded_by_detour(theta in 0.0..360.0f64, r in 0.25..2.0f64) {
+        // The geodesic can never exceed Euclidean + half the perimeter.
+        let src = unit_from_theta(theta) * r;
+        let bound = boundary().perimeter() / 2.0;
+        for ear in Ear::BOTH {
+            let p = path_to_ear(boundary(), src, ear).unwrap();
+            let euclid = src.dist(boundary().params().ear(ear));
+            prop_assert!(p.length <= euclid + bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_length_continuous(theta in 0.0..359.0f64, r in 0.3..1.0f64) {
+        let p1 = path_to_ear(boundary(), unit_from_theta(theta) * r, Ear::Right).unwrap();
+        let p2 = path_to_ear(boundary(), unit_from_theta(theta + 0.5) * r, Ear::Right).unwrap();
+        prop_assert!((p1.length - p2.length).abs() < 0.01,
+            "jump at θ={theta}: {} vs {}", p1.length, p2.length);
+    }
+
+    #[test]
+    fn arrival_direction_unit(theta in 0.0..360.0f64, r in 0.25..2.0f64) {
+        let src = unit_from_theta(theta) * r;
+        for ear in Ear::BOTH {
+            let p = path_to_ear(boundary(), src, ear).unwrap();
+            prop_assert!((p.arrival_dir.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn itd_antisymmetric_across_midline(theta in 0.0..180.0f64) {
+        // Mirroring the source across the nose axis flips the ITD sign for
+        // a laterally symmetric head.
+        let itd_left = plane_itd_metres(boundary(), theta);
+        let itd_right = plane_itd_metres(boundary(), 360.0 - theta);
+        prop_assert!((itd_left + itd_right).abs() < 1e-3,
+            "θ={theta}: {itd_left} vs {itd_right}");
+    }
+
+    #[test]
+    fn plane_excess_bounded(theta in 0.0..360.0f64) {
+        let bound = boundary().params().max_radius() + boundary().perimeter() / 2.0;
+        for ear in Ear::BOTH {
+            let p = plane_path_to_ear(boundary(), theta, ear);
+            prop_assert!(p.excess.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn boundary_points_not_inside(t in 0.0..std::f64::consts::TAU) {
+        let h = HeadParams::average_adult();
+        prop_assert!(!h.contains(h.boundary_point(t)));
+    }
+
+    #[test]
+    fn interior_points_inside(t in 0.0..std::f64::consts::TAU, f in 0.0..0.95f64) {
+        let h = HeadParams::average_adult();
+        let p = h.boundary_point(t) * f;
+        prop_assert!(h.contains(p) || f < 1e-9);
+    }
+
+    #[test]
+    fn segment_clear_symmetric(t1 in 0.0..360.0f64, t2 in 0.0..360.0f64, r in 0.2..1.0f64) {
+        let a = unit_from_theta(t1) * r;
+        let b = unit_from_theta(t2) * r;
+        prop_assert_eq!(boundary().segment_clear(a, b), boundary().segment_clear(b, a));
+    }
+
+    #[test]
+    fn critical_arcs_contain_center(theta in 0.0..180.0f64, r in 0.3..1.0f64) {
+        let ca = uniq_geometry::critical::critical_angles(boundary(), theta, r);
+        prop_assert!(ca.feeds_left(ca.theta_c));
+        prop_assert!(ca.feeds_right(ca.theta_c));
+    }
+
+    #[test]
+    fn vec2_rotation_preserves_norm(x in -5.0..5.0f64, y in -5.0..5.0f64, ang in -10.0..10.0f64) {
+        let v = Vec2::new(x, y);
+        prop_assert!((v.rotated(ang).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path3_never_shorter_than_euclid(az in 0.0..360.0f64, el in -70.0..70.0f64, r in 0.3..1.5f64) {
+        use uniq_geometry::elevation::{path_to_ear_3d_res, Head3, Vec3};
+        let head = Head3::average_adult();
+        let src = Vec3::from_angles(az, el).scale(r);
+        for ear in Ear::BOTH {
+            let p = path_to_ear_3d_res(&head, src, ear, 128).unwrap();
+            let euclid = src.dist(head.ear(ear));
+            prop_assert!(p.length >= euclid - 1e-6,
+                "az={az} el={el}: {} < {euclid}", p.length);
+        }
+    }
+
+    #[test]
+    fn itd3_lateral_symmetry(az in 0.0..180.0f64, el in -60.0..60.0f64) {
+        use uniq_geometry::elevation::{plane_itd_3d, Head3};
+        let head = Head3::average_adult();
+        let left = plane_itd_3d(&head, az, el);
+        let right = plane_itd_3d(&head, 360.0 - az, el);
+        prop_assert!((left + right).abs() < 2e-3, "{left} vs {right}");
+    }
+
+    #[test]
+    fn itd3_elevation_monotone_shrink(az in 30.0..150.0f64) {
+        use uniq_geometry::elevation::{plane_itd_3d, Head3};
+        let head = Head3::average_adult();
+        let low = plane_itd_3d(&head, az, 0.0).abs();
+        let high = plane_itd_3d(&head, az, 60.0).abs();
+        prop_assert!(high <= low + 1e-6, "az={az}: {high} > {low}");
+    }
+}

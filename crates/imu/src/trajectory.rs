@@ -1,0 +1,333 @@
+//! Hand-gesture trajectory generation.
+//!
+//! Models the "rotate the phone around your head" gesture: a polar sweep
+//! at roughly constant radius, sampled at the IMU rate. Real users are
+//! imperfect — the radius wobbles with hand tremor, the arm droops as it
+//! tires, the phone is not aimed exactly at the eyes, and the sweep speed
+//! varies. Each imperfection is explicitly parameterized so experiments
+//! can dial gestures from laboratory-clean to volunteer-4-sloppy (Fig 19).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+use uniq_geometry::vec2::unit_from_theta;
+use uniq_geometry::Vec2;
+
+/// Gesture imperfection magnitudes.
+#[derive(Debug, Clone, Copy)]
+pub struct Imperfections {
+    /// Hand-tremor radius wobble amplitude, metres.
+    pub radius_wobble_m: f64,
+    /// Wobble rate, hertz.
+    pub radius_wobble_hz: f64,
+    /// Total inward arm droop accumulated by the end of the sweep, metres.
+    pub droop_m: f64,
+    /// Peak phone-aiming error (screen not exactly facing the eyes), degrees.
+    pub aim_error_deg: f64,
+    /// Relative angular-speed modulation in `[0, 1)`.
+    pub speed_variation: f64,
+}
+
+impl Imperfections {
+    /// A laboratory-perfect gesture.
+    pub fn none() -> Self {
+        Imperfections {
+            radius_wobble_m: 0.0,
+            radius_wobble_hz: 0.0,
+            droop_m: 0.0,
+            aim_error_deg: 0.0,
+            speed_variation: 0.0,
+        }
+    }
+
+    /// A careful but human gesture (volunteers 1–3 of Fig 19).
+    pub fn typical() -> Self {
+        Imperfections {
+            radius_wobble_m: 0.01,
+            radius_wobble_hz: 1.2,
+            droop_m: 0.02,
+            aim_error_deg: 5.0,
+            speed_variation: 0.2,
+        }
+    }
+
+    /// A tired/constrained arm (volunteers 4–5 of Fig 19: the phone drifts
+    /// too close to the head near the end of the sweep).
+    pub fn severe() -> Self {
+        Imperfections {
+            radius_wobble_m: 0.02,
+            radius_wobble_hz: 1.8,
+            droop_m: 0.08,
+            aim_error_deg: 10.0,
+            speed_variation: 0.4,
+        }
+    }
+}
+
+/// The planned gesture.
+#[derive(Debug, Clone, Copy)]
+pub struct GesturePlan {
+    /// Sweep start, degrees (paper convention; 0 = front).
+    pub theta_start_deg: f64,
+    /// Sweep end, degrees.
+    pub theta_end_deg: f64,
+    /// Sweep duration, seconds.
+    pub duration_s: f64,
+    /// Nominal arm radius, metres.
+    pub radius_m: f64,
+    /// IMU sampling rate, hertz (the paper logs 100 Hz).
+    pub imu_rate_hz: f64,
+    /// Imperfection magnitudes.
+    pub imperfections: Imperfections,
+}
+
+impl GesturePlan {
+    /// The paper's default protocol: sweep the left hemisphere front to
+    /// back (0°–180°) in 20 s at arm's length, logging 100 Hz IMU.
+    pub fn standard(imperfections: Imperfections) -> Self {
+        GesturePlan {
+            theta_start_deg: 0.0,
+            theta_end_deg: 180.0,
+            duration_s: 20.0,
+            radius_m: 0.45,
+            imu_rate_hz: 100.0,
+            imperfections,
+        }
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Panics
+    /// Panics on non-positive duration/rate/radius or a degenerate sweep.
+    pub fn validate(&self) {
+        assert!(self.duration_s > 0.0, "duration must be positive");
+        assert!(self.imu_rate_hz > 0.0, "IMU rate must be positive");
+        assert!(self.radius_m > 0.1, "radius must clear the head");
+        assert!(
+            (self.theta_end_deg - self.theta_start_deg).abs() > 1.0,
+            "sweep must cover more than 1 degree"
+        );
+    }
+}
+
+/// One ground-truth sample of the phone's state during the gesture.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectorySample {
+    /// Time since gesture start, seconds.
+    pub t: f64,
+    /// True phone position (head frame, metres).
+    pub pos: Vec2,
+    /// True polar angle, degrees.
+    pub theta_deg: f64,
+    /// True polar radius, metres.
+    pub radius_m: f64,
+    /// Phone orientation (which way the screen normal points), degrees —
+    /// equals `theta_deg` plus aiming error.
+    pub orientation_deg: f64,
+    /// True angular rate of the orientation, degrees/second (what a
+    /// perfect gyro would read).
+    pub angular_rate_dps: f64,
+}
+
+/// Generates the ground-truth trajectory for a gesture plan.
+///
+/// Deterministic per `(plan, seed)`: the seed drives the random phases of
+/// the imperfection oscillations and the aiming-error bias.
+///
+/// # Panics
+/// Panics if the plan is invalid.
+pub fn generate_trajectory(plan: &GesturePlan, seed: u64) -> Vec<TrajectorySample> {
+    plan.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let imp = plan.imperfections;
+    let wobble_phase = rng.gen_range(0.0..TAU);
+    let speed_phase = rng.gen_range(0.0..TAU);
+    let aim_phase = rng.gen_range(0.0..TAU);
+    let aim_bias = rng.gen_range(-0.4..0.4) * imp.aim_error_deg;
+
+    let n = (plan.duration_s * plan.imu_rate_hz).round() as usize + 1;
+    let dt = 1.0 / plan.imu_rate_hz;
+    let span = plan.theta_end_deg - plan.theta_start_deg;
+
+    // Angular progress: monotone base ramp plus bounded sinusoidal speed
+    // modulation (kept below 1/(2π·k) in slope so progress never reverses).
+    let k_speed = 2.0; // speed modulation cycles over the sweep
+    let progress = |t: f64| -> f64 {
+        let x = (t / plan.duration_s).clamp(0.0, 1.0);
+        let mod_amp = imp.speed_variation / (TAU * k_speed);
+        x + mod_amp * ((TAU * k_speed * x + speed_phase).sin() - speed_phase.sin())
+    };
+
+    let orientation_error = |t: f64| -> f64 {
+        let x = t / plan.duration_s;
+        aim_bias + imp.aim_error_deg * 0.6 * (TAU * 0.8 * x + aim_phase).sin()
+    };
+
+    let state_at = |t: f64| -> (f64, f64, f64) {
+        let theta = plan.theta_start_deg + span * progress(t);
+        let x = (t / plan.duration_s).clamp(0.0, 1.0);
+        let radius = plan.radius_m
+            - imp.droop_m * x
+            + imp.radius_wobble_m * (TAU * imp.radius_wobble_hz * t + wobble_phase).sin();
+        let orient = theta + orientation_error(t);
+        (theta, radius, orient)
+    };
+
+    (0..n)
+        .map(|k| {
+            let t = k as f64 * dt;
+            let (theta, radius, orient) = state_at(t);
+            // Angular rate by central difference of the orientation.
+            let h = dt / 2.0;
+            let o_plus = state_at((t + h).min(plan.duration_s)).2;
+            let o_minus = state_at((t - h).max(0.0)).2;
+            let denom = (t + h).min(plan.duration_s) - (t - h).max(0.0);
+            let rate = if denom > 0.0 {
+                (o_plus - o_minus) / denom
+            } else {
+                0.0
+            };
+            TrajectorySample {
+                t,
+                pos: unit_from_theta(theta) * radius,
+                theta_deg: theta,
+                radius_m: radius,
+                orientation_deg: orient,
+                angular_rate_dps: rate,
+            }
+        })
+        .collect()
+}
+
+/// Picks `m` measurement stops evenly spread along a trajectory (by index)
+/// — the discrete positions where the phone plays its probe chirps.
+///
+/// # Panics
+/// Panics if `m < 2` or the trajectory has fewer than `m` samples.
+pub fn measurement_stops(traj: &[TrajectorySample], m: usize) -> Vec<TrajectorySample> {
+    assert!(m >= 2, "need at least two measurement stops");
+    assert!(traj.len() >= m, "trajectory shorter than stop count");
+    (0..m)
+        .map(|k| traj[k * (traj.len() - 1) / (m - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(imp: Imperfections) -> GesturePlan {
+        GesturePlan::standard(imp)
+    }
+
+    #[test]
+    fn perfect_gesture_is_exact() {
+        let traj = generate_trajectory(&plan(Imperfections::none()), 1);
+        assert_eq!(traj.len(), 2001);
+        let first = &traj[0];
+        let last = traj.last().unwrap();
+        assert!((first.theta_deg - 0.0).abs() < 1e-9);
+        assert!((last.theta_deg - 180.0).abs() < 1e-9);
+        for s in &traj {
+            assert!((s.radius_m - 0.45).abs() < 1e-12);
+            assert!((s.orientation_deg - s.theta_deg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn progress_is_monotone_even_with_speed_variation() {
+        let traj = generate_trajectory(&plan(Imperfections::severe()), 7);
+        for w in traj.windows(2) {
+            assert!(
+                w[1].theta_deg >= w[0].theta_deg - 1e-9,
+                "theta reversed at t={}",
+                w[1].t
+            );
+        }
+    }
+
+    #[test]
+    fn droop_shrinks_radius_over_time() {
+        let mut imp = Imperfections::none();
+        imp.droop_m = 0.06;
+        let traj = generate_trajectory(&plan(imp), 3);
+        let early = traj[100].radius_m;
+        let late = traj[1900].radius_m;
+        assert!(late < early - 0.04, "droop missing: {early} -> {late}");
+    }
+
+    #[test]
+    fn aim_error_bounded() {
+        let traj = generate_trajectory(&plan(Imperfections::severe()), 11);
+        for s in &traj {
+            let err = (s.orientation_deg - s.theta_deg).abs();
+            assert!(err <= 10.0 + 1e-9, "aim error {err} exceeds bound");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_trajectory(&plan(Imperfections::typical()), 5);
+        let b = generate_trajectory(&plan(Imperfections::typical()), 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pos, y.pos);
+        }
+        let c = generate_trajectory(&plan(Imperfections::typical()), 6);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.pos != y.pos));
+    }
+
+    #[test]
+    fn angular_rate_integrates_back_to_orientation() {
+        let traj = generate_trajectory(&plan(Imperfections::typical()), 9);
+        let dt = 0.01;
+        let mut integral = traj[0].orientation_deg;
+        for w in traj.windows(2) {
+            // Trapezoidal integration of the reported rates.
+            integral += 0.5 * (w[0].angular_rate_dps + w[1].angular_rate_dps) * dt;
+        }
+        let expect = traj.last().unwrap().orientation_deg;
+        assert!(
+            (integral - expect).abs() < 0.5,
+            "integrated {integral} vs true {expect}"
+        );
+    }
+
+    #[test]
+    fn position_matches_polar_state() {
+        let traj = generate_trajectory(&plan(Imperfections::typical()), 13);
+        for s in traj.iter().step_by(200) {
+            let recon = unit_from_theta(s.theta_deg) * s.radius_m;
+            assert!((recon - s.pos).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stops_cover_sweep() {
+        let traj = generate_trajectory(&plan(Imperfections::none()), 1);
+        let stops = measurement_stops(&traj, 19);
+        assert_eq!(stops.len(), 19);
+        assert_eq!(stops[0].t, 0.0);
+        assert!((stops[18].theta_deg - 180.0).abs() < 1e-9);
+        // Roughly every 10 degrees.
+        for w in stops.windows(2) {
+            let d = w[1].theta_deg - w[0].theta_deg;
+            assert!(d > 5.0 && d < 15.0, "stop spacing {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_stop_rejected() {
+        let traj = generate_trajectory(&plan(Imperfections::none()), 1);
+        measurement_stops(&traj, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "clear the head")]
+    fn tiny_radius_rejected() {
+        let mut p = plan(Imperfections::none());
+        p.radius_m = 0.05;
+        generate_trajectory(&p, 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Spherical gesture trajectories — the motion half of the §7 "3D HRTF"
+//! extension: *"the user would now need to move the phone on a sphere
+//! around the head, and the motion tracking equations need to be extended
+//! to 3D."*
+//!
+//! The gesture is a serpentine sweep: ring by ring, the user sweeps the
+//! azimuth 0°→180°, raises the arm to the next elevation, sweeps back
+//! 180°→0°, and so on. The phone IMU now reports two angular rates
+//! (azimuth and elevation), each integrated separately.
+
+use crate::trajectory::Imperfections;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+use uniq_geometry::elevation::Vec3;
+
+/// A spherical (multi-ring) gesture plan.
+#[derive(Debug, Clone)]
+pub struct SphericalPlan {
+    /// Elevation of each ring, degrees (swept in order, serpentine).
+    pub rings_deg: Vec<f64>,
+    /// Azimuth sweep limits, degrees.
+    pub theta_start_deg: f64,
+    /// Azimuth sweep end, degrees.
+    pub theta_end_deg: f64,
+    /// Sweep duration per ring, seconds.
+    pub ring_duration_s: f64,
+    /// Arm-raise transition duration between rings, seconds.
+    pub transition_s: f64,
+    /// Nominal arm radius, metres.
+    pub radius_m: f64,
+    /// IMU sampling rate, hertz.
+    pub imu_rate_hz: f64,
+    /// Gesture imperfections (shared with the 2-D plan).
+    pub imperfections: Imperfections,
+}
+
+impl SphericalPlan {
+    /// A standard three-ring protocol: −20°, +15°, +45° elevation.
+    pub fn standard(imperfections: Imperfections) -> Self {
+        SphericalPlan {
+            rings_deg: vec![-20.0, 15.0, 45.0],
+            theta_start_deg: 0.0,
+            theta_end_deg: 180.0,
+            ring_duration_s: 15.0,
+            transition_s: 2.0,
+            radius_m: 0.45,
+            imu_rate_hz: 100.0,
+            imperfections,
+        }
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Panics
+    /// Panics on degenerate geometry or rates.
+    pub fn validate(&self) {
+        assert!(!self.rings_deg.is_empty(), "need at least one ring");
+        assert!(
+            self.rings_deg.iter().all(|e| e.abs() < 85.0),
+            "rings too close to the poles"
+        );
+        assert!(self.ring_duration_s > 0.0 && self.transition_s >= 0.0);
+        assert!(self.radius_m > 0.15, "radius must clear the head");
+        assert!(self.imu_rate_hz > 0.0);
+        assert!(
+            (self.theta_end_deg - self.theta_start_deg).abs() > 1.0,
+            "azimuth sweep too small"
+        );
+    }
+
+    /// Total gesture duration.
+    pub fn duration_s(&self) -> f64 {
+        self.rings_deg.len() as f64 * self.ring_duration_s
+            + (self.rings_deg.len().saturating_sub(1)) as f64 * self.transition_s
+    }
+}
+
+/// One ground-truth sample of the spherical gesture.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectorySample3 {
+    /// Time since gesture start, seconds.
+    pub t: f64,
+    /// True phone position.
+    pub pos: Vec3,
+    /// True azimuth (paper convention), degrees.
+    pub theta_deg: f64,
+    /// True elevation above the horizontal plane, degrees.
+    pub elevation_deg: f64,
+    /// True polar radius, metres.
+    pub radius_m: f64,
+    /// Phone azimuth orientation (θ plus aim error), degrees.
+    pub orientation_az_deg: f64,
+    /// Phone elevation orientation, degrees.
+    pub orientation_el_deg: f64,
+    /// True azimuth angular rate, °/s.
+    pub rate_az_dps: f64,
+    /// True elevation angular rate, °/s.
+    pub rate_el_dps: f64,
+    /// Index of the ring this sample belongs to (transitions belong to the
+    /// *next* ring).
+    pub ring: usize,
+}
+
+/// Generates the serpentine spherical trajectory.
+///
+/// # Panics
+/// Panics if the plan is invalid.
+pub fn generate_spherical(plan: &SphericalPlan, seed: u64) -> Vec<TrajectorySample3> {
+    plan.validate();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3d3d_3d3d);
+    let imp = plan.imperfections;
+    let wobble_phase = rng.gen_range(0.0..TAU);
+    let aim_phase_az = rng.gen_range(0.0..TAU);
+    let aim_phase_el = rng.gen_range(0.0..TAU);
+    let aim_bias_az = rng.gen_range(-0.4..0.4) * imp.aim_error_deg;
+    let aim_bias_el = rng.gen_range(-0.4..0.4) * imp.aim_error_deg;
+
+    let total = plan.duration_s();
+    let n = (total * plan.imu_rate_hz).round() as usize + 1;
+    let dt = 1.0 / plan.imu_rate_hz;
+    let n_rings = plan.rings_deg.len();
+
+    // State at absolute time t: (theta, elevation, ring index).
+    let state = |t: f64| -> (f64, f64, usize) {
+        let seg = plan.ring_duration_s + plan.transition_s;
+        let ring = ((t / seg).floor() as usize).min(n_rings - 1);
+        let t_in = t - ring as f64 * seg;
+        let el_here = plan.rings_deg[ring];
+        if t_in <= plan.ring_duration_s || ring + 1 >= n_rings {
+            // Sweeping within the ring: serpentine direction.
+            let x = (t_in / plan.ring_duration_s).clamp(0.0, 1.0);
+            let (from, to) = if ring % 2 == 0 {
+                (plan.theta_start_deg, plan.theta_end_deg)
+            } else {
+                (plan.theta_end_deg, plan.theta_start_deg)
+            };
+            (from + (to - from) * x, el_here, ring)
+        } else {
+            // Transition: azimuth parked at the serpentine end, elevation
+            // ramping to the next ring.
+            let x = ((t_in - plan.ring_duration_s) / plan.transition_s).clamp(0.0, 1.0);
+            let theta = if ring % 2 == 0 {
+                plan.theta_end_deg
+            } else {
+                plan.theta_start_deg
+            };
+            let el = el_here + (plan.rings_deg[ring + 1] - el_here) * x;
+            (theta, el, ring + 1)
+        }
+    };
+
+    (0..n)
+        .map(|k| {
+            let t = k as f64 * dt;
+            let (theta, el, ring) = state(t);
+            let x = t / total;
+            let radius = plan.radius_m - imp.droop_m * x
+                + imp.radius_wobble_m * (TAU * imp.radius_wobble_hz * t + wobble_phase).sin();
+            let orientation_az =
+                theta + aim_bias_az + imp.aim_error_deg * 0.6 * (TAU * 0.8 * x + aim_phase_az).sin();
+            let orientation_el =
+                el + aim_bias_el + imp.aim_error_deg * 0.4 * (TAU * 0.6 * x + aim_phase_el).sin();
+
+            // Central-difference rates of the (noise-free) orientation.
+            let h = dt / 2.0;
+            let rate_of = |f: &dyn Fn(f64) -> f64| {
+                let hi = (t + h).min(total);
+                let lo = (t - h).max(0.0);
+                if hi > lo {
+                    (f(hi) - f(lo)) / (hi - lo)
+                } else {
+                    0.0
+                }
+            };
+            let az_traj = |tt: f64| {
+                let (th, _, _) = state(tt);
+                let xx = tt / total;
+                th + aim_bias_az
+                    + imp.aim_error_deg * 0.6 * (TAU * 0.8 * xx + aim_phase_az).sin()
+            };
+            let el_traj = |tt: f64| {
+                let (_, e, _) = state(tt);
+                let xx = tt / total;
+                e + aim_bias_el
+                    + imp.aim_error_deg * 0.4 * (TAU * 0.6 * xx + aim_phase_el).sin()
+            };
+
+            TrajectorySample3 {
+                t,
+                pos: Vec3::from_angles(theta, el).scale(radius),
+                theta_deg: theta,
+                elevation_deg: el,
+                radius_m: radius,
+                orientation_az_deg: orientation_az,
+                orientation_el_deg: orientation_el,
+                rate_az_dps: rate_of(&az_traj),
+                rate_el_dps: rate_of(&el_traj),
+                ring,
+            }
+        })
+        .collect()
+}
+
+/// Picks `per_ring` measurement stops inside each ring's sweep (excluding
+/// transitions), evenly spread by azimuth.
+///
+/// # Panics
+/// Panics if `per_ring < 2`.
+pub fn spherical_stops(
+    traj: &[TrajectorySample3],
+    plan: &SphericalPlan,
+    per_ring: usize,
+) -> Vec<TrajectorySample3> {
+    assert!(per_ring >= 2, "need at least two stops per ring");
+    let mut out = Vec::new();
+    for ring in 0..plan.rings_deg.len() {
+        // Samples strictly inside this ring's sweep (matching elevation).
+        let members: Vec<&TrajectorySample3> = traj
+            .iter()
+            .filter(|s| {
+                s.ring == ring && (s.elevation_deg - plan.rings_deg[ring]).abs() < 1e-9
+            })
+            .collect();
+        if members.len() < per_ring {
+            continue;
+        }
+        for k in 0..per_ring {
+            out.push(*members[k * (members.len() - 1) / (per_ring - 1)]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> SphericalPlan {
+        SphericalPlan::standard(Imperfections::none())
+    }
+
+    #[test]
+    fn duration_and_length() {
+        let p = plan();
+        assert!((p.duration_s() - (3.0 * 15.0 + 2.0 * 2.0)).abs() < 1e-12);
+        let traj = generate_spherical(&p, 1);
+        assert_eq!(traj.len(), (p.duration_s() * 100.0) as usize + 1);
+    }
+
+    #[test]
+    fn rings_visit_planned_elevations() {
+        let p = plan();
+        let traj = generate_spherical(&p, 2);
+        for (ring, &el) in p.rings_deg.iter().enumerate() {
+            assert!(
+                traj.iter()
+                    .any(|s| s.ring == ring && (s.elevation_deg - el).abs() < 1e-9),
+                "ring {ring} at {el}° never visited"
+            );
+        }
+    }
+
+    #[test]
+    fn serpentine_reverses_direction() {
+        let p = plan();
+        let traj = generate_spherical(&p, 3);
+        // Ring 0 sweeps 0→180; ring 1 sweeps 180→0.
+        let ring0: Vec<&TrajectorySample3> = traj
+            .iter()
+            .filter(|s| s.ring == 0 && (s.elevation_deg - p.rings_deg[0]).abs() < 1e-9)
+            .collect();
+        let ring1: Vec<&TrajectorySample3> = traj
+            .iter()
+            .filter(|s| s.ring == 1 && (s.elevation_deg - p.rings_deg[1]).abs() < 1e-9)
+            .collect();
+        assert!(ring0.first().unwrap().theta_deg < ring0.last().unwrap().theta_deg);
+        assert!(ring1.first().unwrap().theta_deg > ring1.last().unwrap().theta_deg);
+    }
+
+    #[test]
+    fn perfect_gesture_aims_exactly() {
+        let traj = generate_spherical(&plan(), 4);
+        for s in traj.iter().step_by(137) {
+            assert!((s.orientation_az_deg - s.theta_deg).abs() < 1e-9);
+            assert!((s.orientation_el_deg - s.elevation_deg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rates_integrate_to_orientation() {
+        let p = plan();
+        let traj = generate_spherical(&p, 5);
+        let dt = 0.01;
+        let mut az = traj[0].orientation_az_deg;
+        let mut el = traj[0].orientation_el_deg;
+        for w in traj.windows(2) {
+            az += 0.5 * (w[0].rate_az_dps + w[1].rate_az_dps) * dt;
+            el += 0.5 * (w[0].rate_el_dps + w[1].rate_el_dps) * dt;
+        }
+        let last = traj.last().unwrap();
+        assert!((az - last.orientation_az_deg).abs() < 1.0, "az {az}");
+        assert!((el - last.orientation_el_deg).abs() < 1.0, "el {el}");
+    }
+
+    #[test]
+    fn positions_match_angles() {
+        let traj = generate_spherical(&plan(), 6);
+        for s in traj.iter().step_by(211) {
+            let recon = Vec3::from_angles(s.theta_deg, s.elevation_deg).scale(s.radius_m);
+            assert!(recon.dist(s.pos) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stops_cover_all_rings() {
+        let p = plan();
+        let traj = generate_spherical(&p, 7);
+        let stops = spherical_stops(&traj, &p, 7);
+        assert_eq!(stops.len(), 21);
+        for ring in 0..3 {
+            assert_eq!(stops.iter().filter(|s| s.ring == ring).count(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "poles")]
+    fn polar_ring_rejected() {
+        let mut p = plan();
+        p.rings_deg = vec![88.0];
+        generate_spherical(&p, 1);
+    }
+}

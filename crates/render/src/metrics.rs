@@ -1,0 +1,189 @@
+//! Perceptual-proxy metrics — toward the paper's §7 "externalization"
+//! evaluation.
+//!
+//! True externalization needs human listeners; the paper instead shows its
+//! HRTFs are "mathematically close to true HRTFs". This module provides
+//! the objective proxies that literature uses before a user study:
+//! log-spectral distortion, broadband ITD/ILD errors, and a combined
+//! proxy score comparing a *rendered* binaural signal against what a real
+//! source at the same location would have produced at the ears.
+
+use uniq_core::hrtf::BinauralSignal;
+use uniq_dsp::stft::log_spectral_distortion;
+use uniq_dsp::xcorr::xcorr_peak_lag_subsample;
+
+/// Objective comparison of a rendered binaural signal against a reference.
+#[derive(Debug, Clone, Copy)]
+pub struct BinauralMetrics {
+    /// Mean absolute log-spectral distortion across both ears, dB.
+    pub lsd_db: f64,
+    /// Interaural time-difference error, samples.
+    pub itd_error_samples: f64,
+    /// Interaural level-difference error, dB.
+    pub ild_error_db: f64,
+}
+
+impl BinauralMetrics {
+    /// A combined proxy score in `[0, 1]`: 1 = indistinguishable cues.
+    /// Weights follow the usual perceptual priorities (ITD ≲ 1 sample and
+    /// ILD ≲ 1 dB are near-inaudible; LSD matters above a few dB).
+    pub fn externalization_proxy(&self) -> f64 {
+        let itd_term = (-self.itd_error_samples.abs() / 2.0).exp();
+        let ild_term = (-self.ild_error_db.abs() / 3.0).exp();
+        let lsd_term = (-self.lsd_db.max(0.0) / 6.0).exp();
+        (itd_term * ild_term * lsd_term).cbrt()
+    }
+}
+
+/// Computes the metrics between a rendered signal and a reference (what a
+/// real source would have produced), both at `sample_rate`.
+///
+/// # Panics
+/// Panics if either signal is empty.
+pub fn compare(
+    rendered: &BinauralSignal,
+    reference: &BinauralSignal,
+    sample_rate: f64,
+) -> BinauralMetrics {
+    assert!(
+        !rendered.left.is_empty() && !reference.left.is_empty(),
+        "cannot compare empty signals"
+    );
+
+    // Frame-averaged log-spectral distortion per ear over the audible band.
+    let lsd = |a: &[f64], b: &[f64]| -> f64 {
+        log_spectral_distortion(a, b, sample_rate, 200.0, 16_000.0)
+    };
+    let lsd_db = 0.5 * (lsd(&rendered.left, &reference.left)
+        + lsd(&rendered.right, &reference.right));
+
+    // ITD via interaural cross-correlation lag.
+    let itd = |s: &BinauralSignal| xcorr_peak_lag_subsample(&s.left, &s.right);
+    let itd_error_samples = (itd(rendered) - itd(reference)).abs();
+
+    // ILD in dB.
+    let ild = |s: &BinauralSignal| -> f64 {
+        let e = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().max(1e-30);
+        10.0 * (e(&s.left) / e(&s.right)).log10()
+    };
+    let ild_error_db = (ild(rendered) - ild(reference)).abs();
+
+    BinauralMetrics {
+        lsd_db,
+        itd_error_samples,
+        ild_error_db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_acoustics::pinna::PinnaModel;
+    use uniq_acoustics::render::Renderer;
+    use uniq_acoustics::types::RenderConfig;
+    use uniq_core::hrtf::PersonalHrtf;
+    use uniq_dsp::conv::convolve;
+    use uniq_geometry::{HeadBoundary, HeadParams};
+
+    fn subject_renderer(seed: u64) -> Renderer {
+        Renderer::new(
+            HeadBoundary::new(HeadParams::average_adult(), 512),
+            PinnaModel::from_seed(seed),
+            PinnaModel::from_seed(seed + 1),
+            RenderConfig::default(),
+        )
+    }
+
+    fn ear_truth(r: &Renderer, theta: f64, sig: &[f64]) -> BinauralSignal {
+        let ir = r.render_plane(theta);
+        BinauralSignal {
+            left: convolve(sig, &ir.left),
+            right: convolve(sig, &ir.right),
+        }
+    }
+
+    #[test]
+    fn identical_signals_score_perfect() {
+        let r = subject_renderer(800);
+        let sig = uniq_dsp::signal::linear_chirp(200.0, 10_000.0, 0.05, 48_000.0);
+        let truth = ear_truth(&r, 50.0, &sig);
+        let m = compare(&truth, &truth, 48_000.0);
+        assert!(m.lsd_db < 1e-9);
+        assert!(m.itd_error_samples < 1e-9);
+        assert!(m.ild_error_db < 1e-9);
+        assert!((m.externalization_proxy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn own_hrtf_beats_other_subjects_hrtf() {
+        // Render through the subject's own table vs another subject's: the
+        // proxy must rank "own" higher — the quantitative version of the
+        // paper's externalization goal.
+        let truth_renderer = subject_renderer(800);
+        let own = PersonalHrtf::new(
+            truth_renderer.near_field_bank(&[30.0, 50.0, 70.0], 0.4),
+            truth_renderer.ground_truth_bank(&[30.0, 50.0, 70.0]),
+            HeadParams::average_adult(),
+        );
+        let other_renderer = subject_renderer(900);
+        let other = PersonalHrtf::new(
+            other_renderer.near_field_bank(&[30.0, 50.0, 70.0], 0.4),
+            other_renderer.ground_truth_bank(&[30.0, 50.0, 70.0]),
+            HeadParams::average_adult(),
+        );
+
+        let sig = uniq_dsp::signal::linear_chirp(200.0, 12_000.0, 0.1, 48_000.0);
+        let reference = ear_truth(&truth_renderer, 50.0, &sig);
+        let own_rendered = own.synthesize(&sig, 50.0, true);
+        let other_rendered = other.synthesize(&sig, 50.0, true);
+
+        let m_own = compare(&own_rendered, &reference, 48_000.0);
+        let m_other = compare(&other_rendered, &reference, 48_000.0);
+        assert!(
+            m_own.externalization_proxy() > m_other.externalization_proxy(),
+            "own {:.3} vs other {:.3}",
+            m_own.externalization_proxy(),
+            m_other.externalization_proxy()
+        );
+    }
+
+    #[test]
+    fn itd_error_detected() {
+        let r = subject_renderer(810);
+        let sig = uniq_dsp::signal::linear_chirp(300.0, 8000.0, 0.05, 48_000.0);
+        let reference = ear_truth(&r, 60.0, &sig);
+        // Shift one ear by 5 samples → ITD error ≈ 5.
+        let mut skewed = reference.clone();
+        skewed.right = uniq_dsp::align::shift_signal(&skewed.right, 5);
+        let m = compare(&skewed, &reference, 48_000.0);
+        assert!(
+            (m.itd_error_samples - 5.0).abs() < 1.0,
+            "itd error {}",
+            m.itd_error_samples
+        );
+        assert!(m.externalization_proxy() < 0.6);
+    }
+
+    #[test]
+    fn ild_error_detected() {
+        let r = subject_renderer(820);
+        let sig = uniq_dsp::signal::linear_chirp(300.0, 8000.0, 0.05, 48_000.0);
+        let reference = ear_truth(&r, 60.0, &sig);
+        let mut skewed = reference.clone();
+        for v in skewed.left.iter_mut() {
+            *v *= 2.0; // +6 dB on one ear
+        }
+        let m = compare(&skewed, &reference, 48_000.0);
+        assert!((m.ild_error_db - 6.0).abs() < 0.5, "ild error {}", m.ild_error_db);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty signals")]
+    fn empty_signals_rejected() {
+        let empty = BinauralSignal {
+            left: vec![],
+            right: vec![],
+        };
+        compare(&empty, &empty, 48_000.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! World-space sound sources and the listener pose.
+
+use uniq_geometry::Vec2;
+
+/// A virtual sound source fixed in world coordinates.
+#[derive(Debug, Clone)]
+pub struct SceneSource {
+    /// Human-readable name (for logs/examples).
+    pub name: String,
+    /// World position, metres.
+    pub position: Vec2,
+    /// Source gain applied before spatialization.
+    pub gain: f64,
+}
+
+/// The listener's pose in world coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct ListenerPose {
+    /// World position of the head centre, metres.
+    pub position: Vec2,
+    /// Heading: the world bearing (degrees, counter-clockwise from the
+    /// world +y axis) the nose points at. 0 = facing world +y.
+    pub heading_deg: f64,
+}
+
+impl Default for ListenerPose {
+    fn default() -> Self {
+        ListenerPose {
+            position: Vec2::ZERO,
+            heading_deg: 0.0,
+        }
+    }
+}
+
+impl ListenerPose {
+    /// Transforms a world point into the head frame (x through the ears,
+    /// +y out of the nose).
+    pub fn world_to_head(&self, world: Vec2) -> Vec2 {
+        let rel = world - self.position;
+        // Undo the heading: rotate clockwise by the heading angle. The
+        // head frame's polar convention (θ from +y toward −x) matches the
+        // world bearing convention, so this is a plain rotation.
+        rel.rotated(-self.heading_deg.to_radians())
+    }
+
+    /// The head-frame polar angle (paper convention, degrees) at which a
+    /// world point is perceived.
+    ///
+    /// # Panics
+    /// Panics if the point coincides with the listener position.
+    pub fn perceived_theta(&self, world: Vec2) -> f64 {
+        uniq_geometry::vec2::theta_from_vec(self.world_to_head(world))
+    }
+}
+
+/// A collection of world-fixed sources.
+#[derive(Debug, Clone, Default)]
+pub struct Scene {
+    /// The sources.
+    pub sources: Vec<SceneSource>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        Scene::default()
+    }
+
+    /// Adds a source and returns its index.
+    pub fn add(&mut self, name: impl Into<String>, position: Vec2, gain: f64) -> usize {
+        self.sources.push(SceneSource {
+            name: name.into(),
+            position,
+            gain,
+        });
+        self.sources.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_to_head_identity_pose() {
+        let pose = ListenerPose::default();
+        let p = Vec2::new(1.0, 2.0);
+        assert_eq!(pose.world_to_head(p), p);
+    }
+
+    #[test]
+    fn heading_rotation_compensates() {
+        // Listener turns 90° to the left (toward world −x). A source at
+        // world +y (ahead before the turn) should now be on the right ear
+        // side: θ = 270°.
+        let pose = ListenerPose {
+            position: Vec2::ZERO,
+            heading_deg: 90.0,
+        };
+        let theta = pose.perceived_theta(Vec2::new(0.0, 5.0));
+        assert!((theta - 270.0).abs() < 1e-9, "theta {theta}");
+    }
+
+    #[test]
+    fn translation_shifts_bearing() {
+        let pose = ListenerPose {
+            position: Vec2::new(0.0, 5.0),
+            heading_deg: 0.0,
+        };
+        // A source at the origin is now directly behind.
+        let theta = pose.perceived_theta(Vec2::ZERO);
+        assert!((theta - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn facing_a_source_puts_it_ahead() {
+        // Source north-east of the listener; heading toward it.
+        let pose = ListenerPose {
+            position: Vec2::ZERO,
+            heading_deg: 315.0, // bearing of (+1, +1): −45° = 315°
+        };
+        let theta = pose.perceived_theta(Vec2::new(1.0, 1.0));
+        assert!(theta < 1.0 || theta > 359.0, "theta {theta}");
+    }
+
+    #[test]
+    fn scene_add_indexes() {
+        let mut s = Scene::new();
+        assert_eq!(s.add("a", Vec2::ZERO, 1.0), 0);
+        assert_eq!(s.add("b", Vec2::new(1.0, 0.0), 0.5), 1);
+        assert_eq!(s.sources.len(), 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # uniq-suite
+//!
+//! Umbrella crate for the UNIQ HRTF-personalization reproduction: re-exports
+//! every workspace crate and hosts the cross-crate integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+//!
+//! Start with the `quickstart` example, then see the crate-level docs of
+//! [`uniq_core`] for the pipeline walkthrough.
+
+#![forbid(unsafe_code)]
+
+pub use uniq_acoustics as acoustics;
+pub use uniq_core as core;
+pub use uniq_dsp as dsp;
+pub use uniq_geometry as geometry;
+pub use uniq_imu as imu;
+pub use uniq_optim as optim;
+pub use uniq_render as render;
+pub use uniq_subjects as subjects;
