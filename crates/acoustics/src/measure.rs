@@ -191,16 +191,10 @@ mod tests {
     fn room_lengthens_recording_energy_tail() {
         let r = renderer();
         let src = Vec2::new(-0.4, 0.1);
-        let dry = record_point_source(
-            &r,
-            &MeasurementSetup::anechoic(SR, 80.0),
-            src,
-            &probe(),
-            1,
-        )
-        .unwrap();
-        let wet = record_point_source(&r, &MeasurementSetup::home(SR, 80.0), src, &probe(), 1)
+        let dry = record_point_source(&r, &MeasurementSetup::anechoic(SR, 80.0), src, &probe(), 1)
             .unwrap();
+        let wet =
+            record_point_source(&r, &MeasurementSetup::home(SR, 80.0), src, &probe(), 1).unwrap();
         assert!(wet.left.len() > dry.left.len());
     }
 

@@ -151,9 +151,7 @@ impl PinnaModel {
             .iter()
             .map(|t| t.base_delay_ms + t.delay_mod_ms + t.delay_mod2_ms + t.elev_delay_mod_ms)
             .fold(0.0_f64, f64::max);
-        (max_ms / 1000.0 * sample_rate).ceil() as usize
-            + uniq_dsp::delay::SINC_HALF_WIDTH
-            + 2
+        (max_ms / 1000.0 * sample_rate).ceil() as usize + uniq_dsp::delay::SINC_HALF_WIDTH + 2
     }
 }
 

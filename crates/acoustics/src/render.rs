@@ -216,8 +216,13 @@ pub fn render_point_source(
     cfg: RenderConfig,
     src: Vec2,
 ) -> Option<BinauralIr> {
-    Renderer::new(boundary.clone(), pinna_left.clone(), pinna_right.clone(), cfg)
-        .render_point(src)
+    Renderer::new(
+        boundary.clone(),
+        pinna_left.clone(),
+        pinna_right.clone(),
+        cfg,
+    )
+    .render_point(src)
 }
 
 /// Convenience free function: render a plane wave with a throwaway
@@ -229,8 +234,13 @@ pub fn render_plane_wave(
     cfg: RenderConfig,
     theta_deg: f64,
 ) -> BinauralIr {
-    Renderer::new(boundary.clone(), pinna_left.clone(), pinna_right.clone(), cfg)
-        .render_plane(theta_deg)
+    Renderer::new(
+        boundary.clone(),
+        pinna_left.clone(),
+        pinna_right.clone(),
+        cfg,
+    )
+    .render_plane(theta_deg)
 }
 
 #[cfg(test)]
@@ -320,9 +330,7 @@ mod tests {
         // The near/far distinction that motivates §4.3: same angle,
         // different HRIR.
         let r = renderer();
-        let near = r
-            .render_point(unit_from_theta(45.0) * 0.25)
-            .unwrap();
+        let near = r.render_point(unit_from_theta(45.0) * 0.25).unwrap();
         let far = r.render_plane(45.0);
         let (sim_l, _) = near.similarity(&far);
         assert!(sim_l < 0.999, "near and far identical: {sim_l}");

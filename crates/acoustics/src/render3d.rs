@@ -74,8 +74,7 @@ impl Renderer3 {
         let src = Vec3::from_angles(theta_deg, elevation_deg).scale(FAR);
         let mut out = BinauralIr::zeros(self.cfg.ir_len);
         for ear in Ear::BOTH {
-            let path = path_to_ear_3d(&self.head, src, ear)
-                .expect("far source outside the head");
+            let path = path_to_ear_3d(&self.head, src, ear).expect("far source outside the head");
             let excess = path.length - FAR;
             let ir = self.render_arrival(src, excess, path.wrap_angle, 1.0, ear);
             match ear {
@@ -180,8 +179,7 @@ mod tests {
         let r = renderer();
         let tdoa = |el: f64| {
             let ir = r.render_plane(90.0, el);
-            first_tap(&ir.right, 0.3).unwrap().position
-                - first_tap(&ir.left, 0.3).unwrap().position
+            first_tap(&ir.right, 0.3).unwrap().position - first_tap(&ir.left, 0.3).unwrap().position
         };
         assert!(tdoa(45.0) < tdoa(0.0) - 3.0);
         assert!(tdoa(75.0) < tdoa(45.0));
@@ -200,7 +198,9 @@ mod tests {
 
     #[test]
     fn point_source_inside_rejected() {
-        assert!(renderer().render_point(Vec3::new(0.0, 0.02, 0.02)).is_none());
+        assert!(renderer()
+            .render_point(Vec3::new(0.0, 0.02, 0.02))
+            .is_none());
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Shoebox {
 
     /// Shortest distance from the origin (head) to any wall.
     pub fn min_wall_distance(&self) -> f64 {
-        (-self.x_min).min(self.x_max).min(-self.y_min).min(self.y_max)
+        (-self.x_min)
+            .min(self.x_max)
+            .min(-self.y_min)
+            .min(self.y_max)
     }
 
     /// Enumerates image sources for a true source at `src`, excluding the
@@ -170,7 +173,10 @@ mod tests {
         // Order ≤ 2 in 2-D: 4 first-order + 8 second-order = 12 images.
         let imgs = room().image_sources(Vec2::new(0.3, 0.2));
         assert_eq!(imgs.len(), 12);
-        let first: Vec<_> = imgs.iter().filter(|(_, g)| (*g - 0.5).abs() < 1e-12).collect();
+        let first: Vec<_> = imgs
+            .iter()
+            .filter(|(_, g)| (*g - 0.5).abs() < 1e-12)
+            .collect();
         assert_eq!(first.len(), 4);
     }
 
@@ -182,15 +188,15 @@ mod tests {
         // Mirror across x_max: x → 2·x_max − x.
         let expect_x = 2.0 * r.x_max - src.x;
         assert!(
-            imgs.iter().any(|(p, _)| (p.x - expect_x).abs() < 1e-9
-                && (p.y - src.y).abs() < 1e-9),
+            imgs.iter()
+                .any(|(p, _)| (p.x - expect_x).abs() < 1e-9 && (p.y - src.y).abs() < 1e-9),
             "missing east-wall image"
         );
         // Mirror across y_min: y → 2·y_min − y.
         let expect_y = 2.0 * r.y_min - src.y;
         assert!(
-            imgs.iter().any(|(p, _)| (p.y - expect_y).abs() < 1e-9
-                && (p.x - src.x).abs() < 1e-9),
+            imgs.iter()
+                .any(|(p, _)| (p.y - expect_y).abs() < 1e-9 && (p.x - src.x).abs() < 1e-9),
             "missing south-wall image"
         );
     }

@@ -38,12 +38,7 @@ pub fn shadow_magnitude(freq_hz: f64, wrap_angle: f64, kappa: f64, f0: f64) -> f
 /// the caller should place the raw tap). The kernel's group delay is
 /// [`group_delay_samples`] samples; the renderer subtracts it when placing
 /// taps so arrival times stay exact.
-pub fn shadow_fir(
-    wrap_angle: f64,
-    kappa: f64,
-    f0: f64,
-    sample_rate: f64,
-) -> Option<Vec<f64>> {
+pub fn shadow_fir(wrap_angle: f64, kappa: f64, f0: f64, sample_rate: f64) -> Option<Vec<f64>> {
     if wrap_angle <= 0.0 {
         return None;
     }
@@ -128,10 +123,7 @@ mod tests {
             let bin = (f / SR * n as f64).round() as usize;
             let got = spec[bin].abs();
             let want = shadow_magnitude(bin as f64 * SR / n as f64, wrap, 0.6, 4000.0);
-            assert!(
-                (got - want).abs() < 0.15,
-                "f={f}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 0.15, "f={f}: got {got}, want {want}");
         }
         // The steep low-frequency knee is necessarily smoothed by a 33-tap
         // kernel; require monotone decrease instead of a pointwise match.

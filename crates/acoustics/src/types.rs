@@ -281,10 +281,7 @@ mod tests {
 
     #[test]
     fn bank_nearest_wraps() {
-        let bank = HrirBank::new(
-            vec![(10.0, ir(1.0, 8)), (350.0, ir(2.0, 8))],
-            48000.0,
-        );
+        let bank = HrirBank::new(vec![(10.0, ir(1.0, 8)), (350.0, ir(2.0, 8))], 48000.0);
         let (got, ang) = bank.nearest(356.0);
         assert_eq!(ang, 350.0);
         assert_eq!(got.left[0], 2.0);

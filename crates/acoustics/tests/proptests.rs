@@ -40,7 +40,10 @@ proptest! {
     }
 
     #[test]
-    fn pinna_response_energy_bounded(seed in 0u64..500, angle in -3.14..3.14f64) {
+    fn pinna_response_energy_bounded(
+        seed in 0u64..500,
+        angle in -std::f64::consts::PI..std::f64::consts::PI,
+    ) {
         let p = PinnaModel::from_seed(seed);
         let ir = p.response(angle, 48_000.0, 256);
         let e: f64 = ir.iter().map(|v| v * v).sum();

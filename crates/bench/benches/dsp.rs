@@ -28,7 +28,12 @@ fn bench_convolution(c: &mut Criterion) {
     let ir: Vec<f64> = (0..512).map(|k| ((k * k) as f64 * 0.01).sin()).collect();
     group.bench_function("direct_2400x64", |b| {
         let short_ir = &ir[..64];
-        b.iter(|| convolve_direct(std::hint::black_box(&signal), std::hint::black_box(short_ir)))
+        b.iter(|| {
+            convolve_direct(
+                std::hint::black_box(&signal),
+                std::hint::black_box(short_ir),
+            )
+        })
     });
     group.bench_function("fft_2400x512", |b| {
         b.iter(|| convolve_fft(std::hint::black_box(&signal), std::hint::black_box(&ir)))

@@ -1,0 +1,53 @@
+//! Measures the cost of the uniq-obs instrumentation on the full
+//! `personalize` pipeline: no sink installed (the fast `enabled()` check
+//! short-circuits every probe), an explicit `NoopSink` (events are built
+//! and dispatched but dropped), and a `MemorySink` (events are retained).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uniq_core::config::UniqConfig;
+use uniq_core::pipeline::personalize;
+use uniq_obs::sink::{MemorySink, NoopSink};
+use uniq_subjects::Subject;
+
+fn cfg() -> UniqConfig {
+    UniqConfig {
+        in_room: false,
+        snr_db: 45.0,
+        grid_step_deg: 15.0,
+        ..UniqConfig::fast_test()
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let cfg = cfg();
+    let subject = Subject::from_seed(70);
+
+    let mut group = c.benchmark_group("personalize_obs");
+    group.bench_function("no_sink", |b| {
+        b.iter(|| personalize(std::hint::black_box(&subject), &cfg, 42).unwrap())
+    });
+    group.bench_function("noop_sink", |b| {
+        b.iter(|| {
+            uniq_obs::with_sink(Arc::new(NoopSink), || {
+                personalize(std::hint::black_box(&subject), &cfg, 42).unwrap()
+            })
+        })
+    });
+    group.bench_function("memory_sink", |b| {
+        b.iter(|| {
+            uniq_obs::with_sink(Arc::new(MemorySink::new()), || {
+                personalize(std::hint::black_box(&subject), &cfg, 42).unwrap()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -35,8 +35,7 @@ mod tests {
             &["a", "b"],
             &[vec![1.0, 2.0], vec![3.0, 4.0]],
         );
-        let content =
-            std::fs::read_to_string("bench_results/unit_test_artifact.csv").unwrap();
+        let content = std::fs::read_to_string("bench_results/unit_test_artifact.csv").unwrap();
         assert!(content.starts_with("a,b\n1,2\n3,4\n"));
         std::fs::remove_file("bench_results/unit_test_artifact.csv").ok();
     }

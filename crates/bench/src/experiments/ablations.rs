@@ -28,8 +28,14 @@ pub fn fusion_ablation() -> (f64, f64, f64) {
     let mut out = (0.0, 0.0, 0.0);
 
     for (label, gesture) in [
-        ("careful gesture", uniq_imu::trajectory::Imperfections::typical()),
-        ("sloppy gesture", uniq_imu::trajectory::Imperfections::severe()),
+        (
+            "careful gesture",
+            uniq_imu::trajectory::Imperfections::typical(),
+        ),
+        (
+            "sloppy gesture",
+            uniq_imu::trajectory::Imperfections::severe(),
+        ),
     ] {
         let mut fused_err = Vec::new();
         let mut imu_err = Vec::new();
@@ -54,10 +60,9 @@ pub fn fusion_ablation() -> (f64, f64, f64) {
                 let truth = stop.truth_theta_deg;
                 fused_err.push(angle_diff_deg(fusion.final_thetas_deg[k], truth));
                 imu_err.push(angle_diff_deg(stop.alpha_deg, truth));
-                let acoustic =
-                    localize_phone(&avg_boundary, inp.d_left_m, inp.d_right_m, 45.0)
-                        .map(|l| l.theta_deg)
-                        .unwrap_or(45.0);
+                let acoustic = localize_phone(&avg_boundary, inp.d_left_m, inp.d_right_m, 45.0)
+                    .map(|l| l.theta_deg)
+                    .unwrap_or(45.0);
                 acoustic_err.push(angle_diff_deg(acoustic, truth));
             }
         }
@@ -129,10 +134,7 @@ pub fn head_model_ablation() -> (f64, f64) {
                 .sum()
         };
         let (r_opt, _) = uniq_optim::golden_section(objective, 0.06, 0.13, 1e-4);
-        let b = HeadBoundary::new(
-            HeadParams::new(r_opt, r_opt, r_opt),
-            cfg.inverse_resolution,
-        );
+        let b = HeadBoundary::new(HeadParams::new(r_opt, r_opt, r_opt), cfg.inverse_resolution);
         for (stop, inp) in session.stops.iter().zip(&inputs) {
             let est = localize_phone(&b, inp.d_left_m, inp.d_right_m, inp.alpha_deg)
                 .map(|l| uniq_core::fusion::circular_blend(inp.alpha_deg, l.theta_deg, 0.5))
@@ -318,7 +320,10 @@ pub fn stops_sweep() -> Vec<(usize, f64, f64)> {
             .map(|(s, &e)| angle_diff_deg(s.truth_theta_deg, e))
             .collect();
         let med = median(&errs);
-        println!("  N = {n:>3}: head error {:.1} mm, localization median {med:.2}°", head_err * 1000.0);
+        println!(
+            "  N = {n:>3}: head error {:.1} mm, localization median {med:.2}°",
+            head_err * 1000.0
+        );
         rows.push((n, head_err, med));
     }
     write_csv(
@@ -332,10 +337,14 @@ pub fn stops_sweep() -> Vec<(usize, f64, f64)> {
     rows
 }
 
+/// One SNR-sweep row: `(snr_db, loc_median_deg, hrir_mean_sim)`.
+pub type SnrRow = (f64, f64, f64);
+/// One gyro-sweep row: `(grade, loc_median_deg, hrir_mean_sim)`.
+pub type GyroRow = (usize, f64, f64);
+
 /// Robustness sweep: localization and HRIR quality vs microphone SNR and
-/// gyroscope grade. Returns `(snr_rows, gyro_rows)` where each row is
-/// `(level, loc_median_deg, hrir_mean_sim)`.
-pub fn robustness_sweep() -> (Vec<(f64, f64, f64)>, Vec<(usize, f64, f64)>) {
+/// gyroscope grade. Returns `(snr_rows, gyro_rows)`.
+pub fn robustness_sweep() -> (Vec<SnrRow>, Vec<GyroRow>) {
     println!("\n== robustness: SNR and gyroscope-grade sweeps ==");
     let subject = Subject::from_seed(1005);
     let grid_cfg = UniqConfig {
@@ -386,7 +395,10 @@ pub fn robustness_sweep() -> (Vec<(f64, f64, f64)>, Vec<(usize, f64, f64)>) {
     write_csv(
         "robustness_snr",
         &["snr_db", "loc_median_deg", "hrir_mean_sim"],
-        &snr_rows.iter().map(|(a, b, c)| vec![*a, *b, *c]).collect::<Vec<_>>(),
+        &snr_rows
+            .iter()
+            .map(|(a, b, c)| vec![*a, *b, *c])
+            .collect::<Vec<_>>(),
     );
 
     let mut gyro_rows = Vec::new();
@@ -429,7 +441,11 @@ pub fn beamforming_analysis() {
     println!("\n== analysis: Attempt 1 (speaker beamforming) conditioning ==");
     use uniq_core::nearfar::attempts::beamforming_condition;
     let mut rows = Vec::new();
-    for &(elements, label) in &[(2usize, "phone (2 speakers)"), (4, "4-element"), (8, "8-element")] {
+    for &(elements, label) in &[
+        (2usize, "phone (2 speakers)"),
+        (4, "4-element"),
+        (8, "8-element"),
+    ] {
         let cond = beamforming_condition(19, 38, elements, 0.07, 2000.0);
         println!("  {label:<20} condition number {cond:.1e}");
         rows.push(vec![elements as f64, cond]);

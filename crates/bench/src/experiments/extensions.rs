@@ -95,8 +95,7 @@ pub fn externalization_proxy() -> (f64, f64) {
     let cohort = super::cohort();
     let cfg = crate::cohort::eval_config();
     let global_bank = uniq_subjects::global_template(cfg.render, &cfg.output_grid());
-    let sig =
-        uniq_dsp::signal::linear_chirp(200.0, 14_000.0, 0.1, cfg.render.sample_rate);
+    let sig = uniq_dsp::signal::linear_chirp(200.0, 14_000.0, 0.1, cfg.render.sample_rate);
 
     let mut personal = Vec::new();
     let mut global = Vec::new();

@@ -18,9 +18,14 @@ pub fn run() -> (Vec<f64>, Vec<f64>) {
         .collect();
     let db: Vec<f64> = freqs.iter().map(|&f| sys.magnitude_db(f)).collect();
 
-    for (f, d) in [(30.0, None), (100.0, None), (1000.0, None), (10_000.0, None)]
-        .iter()
-        .map(|(f, _): &(f64, Option<()>)| (*f, sys.magnitude_db(*f)))
+    for (f, d) in [
+        (30.0, None),
+        (100.0, None),
+        (1000.0, None),
+        (10_000.0, None),
+    ]
+    .iter()
+    .map(|(f, _): &(f64, Option<()>)| (*f, sys.magnitude_db(*f)))
     {
         println!("  {f:>8.0} Hz: {d:>7.1} dB");
     }

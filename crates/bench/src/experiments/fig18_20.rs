@@ -99,9 +99,8 @@ pub fn run() -> Summary {
     println!("  angle   UNIQ(L)  global(L)  remeasure(L) |  UNIQ(R)  global(R)");
     for &angle in &angles {
         let at: Vec<&SimRecord> = records.iter().filter(|r| r.angle == angle).collect();
-        let m = |f: &dyn Fn(&SimRecord) -> f64| {
-            at.iter().map(|r| f(r)).sum::<f64>() / at.len() as f64
-        };
+        let m =
+            |f: &dyn Fn(&SimRecord) -> f64| at.iter().map(|r| f(r)).sum::<f64>() / at.len() as f64;
         let row = [
             angle,
             m(&|r| r.uniq.0),
@@ -111,7 +110,7 @@ pub fn run() -> Summary {
             m(&|r| r.global.1),
             m(&|r| r.remeasure.1),
         ];
-        if angle as usize % 30 == 0 {
+        if (angle as usize).is_multiple_of(30) {
             println!(
                 "  {:>5.0}   {:>6.3}   {:>7.3}   {:>10.3} |  {:>6.3}   {:>7.3}",
                 row[0], row[1], row[2], row[3], row[4], row[5]
@@ -138,9 +137,8 @@ pub fn run() -> Summary {
     println!("\n  volunteer   UNIQ(L)  global(L) |  UNIQ(R)  global(R)");
     for v in 0..cohort.len() {
         let of: Vec<&SimRecord> = records.iter().filter(|r| r.volunteer == v).collect();
-        let m = |f: &dyn Fn(&SimRecord) -> f64| {
-            of.iter().map(|r| f(r)).sum::<f64>() / of.len() as f64
-        };
+        let m =
+            |f: &dyn Fn(&SimRecord) -> f64| of.iter().map(|r| f(r)).sum::<f64>() / of.len() as f64;
         let row = [
             v as f64 + 1.0,
             m(&|r| r.uniq.0),
@@ -156,7 +154,13 @@ pub fn run() -> Summary {
     }
     write_csv(
         "fig19_per_volunteer",
-        &["volunteer", "uniq_left", "global_left", "uniq_right", "global_right"],
+        &[
+            "volunteer",
+            "uniq_left",
+            "global_left",
+            "uniq_right",
+            "global_right",
+        ],
         &fig19_rows,
     );
 
@@ -181,14 +185,7 @@ pub fn run() -> Summary {
         );
         let window = 160;
         let rows: Vec<Vec<f64>> = (0..window)
-            .map(|k| {
-                vec![
-                    k as f64,
-                    est.left[k],
-                    truth.irs()[0].left[k],
-                    glob.left[k],
-                ]
-            })
+            .map(|k| vec![k as f64, est.left[k], truth.irs()[0].left[k], glob.left[k]])
             .collect();
         write_csv(
             &format!("fig20_hrir_{label}"),
@@ -197,9 +194,8 @@ pub fn run() -> Summary {
         );
     }
 
-    let overall = |f: &dyn Fn(&SimRecord) -> f64| {
-        mean(&records.iter().map(|r| f(r)).collect::<Vec<f64>>())
-    };
+    let overall =
+        |f: &dyn Fn(&SimRecord) -> f64| mean(&records.iter().map(f).collect::<Vec<f64>>());
     let summary = Summary {
         uniq: (overall(&|r| r.uniq.0), overall(&|r| r.uniq.1)),
         global: (overall(&|r| r.global.0), overall(&|r| r.global.1)),

@@ -21,8 +21,7 @@ pub fn run() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let alice = Subject::from_seed(1000).ground_truth(cfg.render, &angles);
     let bob = Subject::from_seed(1001).ground_truth(cfg.render, &angles);
 
-    let matrix = |a: &uniq_acoustics::types::HrirBank,
-                  b: &uniq_acoustics::types::HrirBank| {
+    let matrix = |a: &uniq_acoustics::types::HrirBank, b: &uniq_acoustics::types::HrirBank| {
         a.irs()
             .iter()
             .map(|ia| {
@@ -37,9 +36,7 @@ pub fn run() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let same = matrix(&alice, &alice);
     let cross = matrix(&alice, &bob);
 
-    let diag_mean = |m: &[Vec<f64>]| {
-        (0..m.len()).map(|k| m[k][k]).sum::<f64>() / m.len() as f64
-    };
+    let diag_mean = |m: &[Vec<f64>]| (0..m.len()).map(|k| m[k][k]).sum::<f64>() / m.len() as f64;
     let off_mean = |m: &[Vec<f64>]| {
         let mut sum = 0.0;
         let mut n = 0;

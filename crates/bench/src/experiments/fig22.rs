@@ -104,8 +104,7 @@ pub fn run() -> Vec<CategoryResult> {
     write_csv(
         "fig22d_front_back",
         &["category", "uniq_fb", "global_fb"],
-        &out
-            .iter()
+        &out.iter()
             .enumerate()
             .map(|(i, r)| vec![i as f64, r.personal_fb, r.global_fb])
             .collect::<Vec<_>>(),

@@ -60,8 +60,16 @@ pub fn run() -> Vec<Fig5Row> {
         // the paper does (wired-synchronized mics).
         let mut ir_ref = vec![0.0; 1024];
         let mut ir_test = vec![0.0; 1024];
-        add_fractional_impulse(&mut ir_ref, cfg.render.metres_to_samples(ref_path.length), 1.0);
-        add_fractional_impulse(&mut ir_test, cfg.render.metres_to_samples(test_path.length), 0.8);
+        add_fractional_impulse(
+            &mut ir_ref,
+            cfg.render.metres_to_samples(ref_path.length),
+            1.0,
+        );
+        add_fractional_impulse(
+            &mut ir_test,
+            cfg.render.metres_to_samples(test_path.length),
+            0.8,
+        );
         let rec_ref = convolve(&probe, &ir_ref);
         let rec_test = convolve(&probe, &ir_test);
         let ch_ref = wiener_deconvolve(&rec_ref, &probe, 1e-6, 1024);

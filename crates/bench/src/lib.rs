@@ -20,6 +20,7 @@
 pub mod cohort;
 pub mod csv;
 pub mod experiments;
+pub mod timings;
 
 /// Output directory for CSV artifacts (relative to the workspace root).
 pub const RESULTS_DIR: &str = "bench_results";

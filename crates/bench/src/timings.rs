@@ -1,0 +1,93 @@
+//! Wall-clock timing of experiment targets, written as
+//! `bench_results/timings.json` (no external dependency).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Collects `(target, seconds)` entries and writes them as a JSON array.
+#[derive(Debug, Default)]
+pub struct TimingLog {
+    entries: Vec<(String, f64)>,
+}
+
+impl TimingLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TimingLog::default()
+    }
+
+    /// Runs `f`, recording its wall time under `name`. Returns `f`'s
+    /// result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.entries
+            .push((name.to_string(), start.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// The recorded entries, in run order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Renders the log as a JSON array of `{"target", "seconds"}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, (name, secs)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"target\": \"{}\", \"seconds\": {}}}{}\n",
+                uniq_obs::sink::json_escape(name),
+                uniq_obs::sink::json_number(*secs),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes `bench_results/timings.json`, creating the directory if
+    /// needed.
+    ///
+    /// # Panics
+    /// Panics on I/O errors (experiments are developer tooling).
+    pub fn write(&self) {
+        let dir = Path::new(crate::RESULTS_DIR);
+        fs::create_dir_all(dir).expect("create bench_results dir");
+        let path = dir.join("timings.json");
+        let mut file = fs::File::create(&path).expect("create timings.json");
+        writeln!(file, "{}", self.to_json()).expect("write timings.json");
+        println!("  → wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serializes() {
+        let mut log = TimingLog::new();
+        let v = log.time("fig2", || 41 + 1);
+        assert_eq!(v, 42);
+        log.time("ablations", || ());
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries()[0].0, "fig2");
+        assert!(log.entries()[0].1 >= 0.0);
+
+        let json = log.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"target\": \"fig2\""));
+        assert!(json.contains("\"target\": \"ablations\""));
+        // One comma: two entries.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn empty_log_is_valid_json_array() {
+        assert_eq!(TimingLog::new().to_json(), "[\n]");
+    }
+}

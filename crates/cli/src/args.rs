@@ -112,8 +112,11 @@ mod tests {
 
     #[test]
     fn parses_command_options_switches() {
-        let a = Args::parse(&raw("personalize --seed 42 --anechoic --grid 5"), &["anechoic"])
-            .unwrap();
+        let a = Args::parse(
+            &raw("personalize --seed 42 --anechoic --grid 5"),
+            &["anechoic"],
+        )
+        .unwrap();
         assert_eq!(a.command, "personalize");
         assert_eq!(a.get_u64("seed", 0).unwrap(), 42);
         assert_eq!(a.get_f64("grid", 1.0).unwrap(), 5.0);
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn bad_number_rejected() {
         let a = Args::parse(&raw("x --seed banana"), &[]).unwrap();
-        assert!(matches!(a.get_u64("seed", 0), Err(ArgError::BadValue(_, _))));
+        assert!(matches!(
+            a.get_u64("seed", 0),
+            Err(ArgError::BadValue(_, _))
+        ));
     }
 
     #[test]

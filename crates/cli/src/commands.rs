@@ -2,14 +2,46 @@
 
 use crate::args::Args;
 use std::path::Path;
+use std::sync::Arc;
 use uniq_acoustics::signals::SignalKind;
 use uniq_core::config::UniqConfig;
 use uniq_core::pipeline::personalize_with_retry;
+use uniq_obs::report::Report;
+use uniq_obs::sink::{JsonLinesSink, MemorySink, MultiSink, Sink, StderrSink};
 use uniq_subjects::Subject;
 
 /// Runs a parsed command; returns a human-readable report or an error
 /// message.
+///
+/// `--trace` streams a live span tree to stderr and appends an end-of-run
+/// stage-timing/metrics summary; `--metrics-out FILE` writes every
+/// observability event as JSON lines. Both observe the same run — neither
+/// changes the pipeline's numeric output.
 pub fn run(args: &Args) -> Result<String, String> {
+    let trace = args.switch("trace");
+    let metrics_out = args.get("metrics-out");
+    if !trace && metrics_out.is_none() {
+        return dispatch(args);
+    }
+
+    let memory = Arc::new(MemorySink::new());
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![memory.clone()];
+    if trace {
+        sinks.push(Arc::new(StderrSink::new()));
+    }
+    if let Some(path) = metrics_out {
+        let sink = JsonLinesSink::create(Path::new(path))
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    let result = uniq_obs::with_sink(Arc::new(MultiSink::new(sinks)), || dispatch(args));
+    if trace {
+        eprintln!("\n{}", Report::from_events(&memory.events()));
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
         "personalize" => personalize_cmd(args),
         "info" => info_cmd(args),
@@ -33,7 +65,11 @@ pub fn usage() -> String {
      \x20         [--near] [--duration S] [--seed N]\n\
      \x20     spatialize a test signal through the table, write stereo WAV\n\
      \x20 aoa --table FILE --theta DEG --signal noise|music|speech [--seed N]\n\
-     \x20     simulate an unknown ambient source and estimate its direction\n"
+     \x20     simulate an unknown ambient source and estimate its direction\n\
+     \n\
+     observability (any command):\n\
+     \x20 --trace            live span tree on stderr + end-of-run stage summary\n\
+     \x20 --metrics-out FILE write spans/metrics/counters as JSON lines\n"
         .to_string()
 }
 
@@ -42,7 +78,9 @@ fn signal_kind(name: &str) -> Result<SignalKind, String> {
         "noise" | "white" | "white-noise" => Ok(SignalKind::WhiteNoise),
         "music" => Ok(SignalKind::Music),
         "speech" => Ok(SignalKind::Speech),
-        other => Err(format!("unknown signal kind {other:?} (noise|music|speech)")),
+        other => Err(format!(
+            "unknown signal kind {other:?} (noise|music|speech)"
+        )),
     }
 }
 
@@ -127,7 +165,11 @@ fn render_cmd(args: &Args) -> Result<String, String> {
         "rendered {:.1}s of {} from θ={theta}° ({}) → {out}",
         duration,
         kind.label(),
-        if args.switch("near") { "near field" } else { "far field" },
+        if args.switch("near") {
+            "near field"
+        } else {
+            "far field"
+        },
     ))
 }
 
@@ -164,7 +206,7 @@ mod tests {
 
     fn argv(s: &str) -> Args {
         let raw: Vec<String> = s.split_whitespace().map(String::from).collect();
-        Args::parse(&raw, &["anechoic", "near"]).unwrap()
+        Args::parse(&raw, &["anechoic", "near", "trace"]).unwrap()
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -222,13 +264,38 @@ mod tests {
         assert!(out.contains("rendered"));
         assert!(wav.exists());
 
-        let out = run(&argv(&format!(
-            "aoa --table {t} --theta 60 --signal noise"
-        )))
-        .expect("aoa");
+        let out = run(&argv(&format!("aoa --table {t} --theta 60 --signal noise"))).expect("aoa");
         assert!(out.contains("estimated"));
 
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&wav).ok();
+    }
+
+    #[test]
+    fn metrics_out_writes_jsonl_events() {
+        let table = temp_path("obs.uniqhrtf");
+        let metrics = temp_path("obs.jsonl");
+        let out = run(&argv(&format!(
+            "personalize --seed 6 --out {} --anechoic --grid 15 --metrics-out {}",
+            table.display(),
+            metrics.display()
+        )))
+        .expect("personalize with metrics");
+        assert!(out.contains("table written"));
+
+        let content = std::fs::read_to_string(&metrics).unwrap();
+        assert!(content.contains("\"event\":\"span_start\""));
+        assert!(content.contains("\"name\":\"personalize\""));
+        assert!(content.contains("\"name\":\"fusion.mean_residual_deg\""));
+        assert!(content.contains("\"name\":\"personalize.radius_m\""));
+        // Every line is a JSON object.
+        for line in content.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line {line}"
+            );
+        }
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&metrics).ok();
     }
 }

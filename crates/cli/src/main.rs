@@ -5,7 +5,7 @@ use uniq_cli::commands;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(&raw, &["anechoic", "near"]) {
+    let parsed = match Args::parse(&raw, &["anechoic", "near", "trace"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::usage());

@@ -69,6 +69,7 @@ pub fn estimate_known_source(
     bank: &HrirBank,
     cfg: &UniqConfig,
 ) -> f64 {
+    let _span = uniq_obs::span("aoa.known");
     // Ear channels by deconvolution with the known source.
     let ch_left = wiener_deconvolve(
         &recording.left,
@@ -116,6 +117,7 @@ pub fn estimate_unknown_source(
     bank: &HrirBank,
     cfg: &UniqConfig,
 ) -> f64 {
+    let _span = uniq_obs::span("aoa.unknown");
     // Relative channel between the ears: cross-correlation peaks give
     // candidate TDoAs (Fig 14: multiple peaks due to pinna multipath).
     let window = 16_384.min(recording.left.len());
@@ -311,7 +313,11 @@ mod tests {
             let est = estimate_unknown_source(&rec, &bank, &c);
             total += angle_diff_deg(est, truth);
         }
-        assert!(total / 3.0 < 25.0, "mean unknown-source error {}", total / 3.0);
+        assert!(
+            total / 3.0 < 25.0,
+            "mean unknown-source error {}",
+            total / 3.0
+        );
     }
 
     #[test]
@@ -335,7 +341,11 @@ mod tests {
         let t = AoaTemplates::from_bank(&bank, &c);
         // TDoA should rise from ~0 at the front to a maximum near 90°.
         let i0 = 0;
-        let i90 = t.angles().iter().position(|a| (*a - 90.0).abs() < 1e-9).unwrap();
+        let i90 = t
+            .angles()
+            .iter()
+            .position(|a| (*a - 90.0).abs() < 1e-9)
+            .unwrap();
         assert!(t.t_rel()[i90] > t.t_rel()[i0] + 5.0);
     }
 

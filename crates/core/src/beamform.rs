@@ -26,11 +26,7 @@ pub struct BeamformOutput {
 /// Steers a binaural recording toward `theta_deg` using the given HRTF
 /// template bank: matched-filter each ear with its look-direction HRIR
 /// and sum.
-pub fn beamform(
-    recording: &BinauralRecording,
-    bank: &HrirBank,
-    theta_deg: f64,
-) -> BeamformOutput {
+pub fn beamform(recording: &BinauralRecording, bank: &HrirBank, theta_deg: f64) -> BeamformOutput {
     let (ir, _) = bank.nearest(theta_deg);
     let mf_left: Vec<f64> = ir.left.iter().rev().copied().collect();
     let mf_right: Vec<f64> = ir.right.iter().rev().copied().collect();
@@ -128,8 +124,8 @@ mod tests {
 
         let e = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
         // Input SIR at the ears (mixture is linear; compute per-source).
-        let in_sir = (e(&rec_alice.left) + e(&rec_alice.right))
-            / (e(&rec_bob.left) + e(&rec_bob.right));
+        let in_sir =
+            (e(&rec_alice.left) + e(&rec_alice.right)) / (e(&rec_bob.left) + e(&rec_bob.right));
         // Output SIR after steering at Alice.
         let out_alice = beamform(&rec_alice, &bank, 30.0);
         let out_bob = beamform(&rec_bob, &bank, 30.0);

@@ -34,9 +34,35 @@ impl EstimatedChannel {
     /// Converts a first-tap position to a propagation path length in
     /// metres, removing the known synchronization base delay.
     pub fn tap_to_metres(tap_samples: f64, cfg: &UniqConfig) -> f64 {
-        (tap_samples / cfg.render.sample_rate - cfg.render.base_delay)
-            * cfg.render.speed_of_sound
+        (tap_samples / cfg.render.sample_rate - cfg.render.base_delay) * cfg.render.speed_of_sound
     }
+}
+
+/// First-tap SNR in dB: the channel's peak amplitude at/after the tap
+/// against the RMS of everything strictly before it. Returns `None` when
+/// there are no pre-tap samples or the floor is exactly zero (noise-free
+/// synthetic channels have no meaningful SNR).
+fn first_tap_snr_db(sig: &[f64], tap_position: f64) -> Option<f64> {
+    let cut = (tap_position.floor() as usize).min(sig.len());
+    // Leave a guard of a few samples before the tap out of the floor: the
+    // tap's own rising edge is signal, not noise.
+    let floor_end = cut.saturating_sub(4);
+    if floor_end == 0 {
+        return None;
+    }
+    let floor_rms = (sig[..floor_end].iter().map(|v| v * v).sum::<f64>() / floor_end as f64).sqrt();
+    if floor_rms <= 0.0 {
+        return None;
+    }
+    let peak = sig[cut..]
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(sig.get(cut).map(|v| v.abs()).unwrap_or(0.0));
+    if peak <= 0.0 {
+        return None;
+    }
+    Some(20.0 * (peak / floor_rms).log10())
 }
 
 /// Errors from channel estimation.
@@ -67,6 +93,7 @@ pub fn estimate_channel(
     system_ir: &[f64],
     cfg: &UniqConfig,
 ) -> Result<EstimatedChannel, ChannelError> {
+    let _span = uniq_obs::span("channel.estimate");
     let raw_left = wiener_deconvolve(
         &recording.left,
         probe,
@@ -88,10 +115,20 @@ pub fn estimate_channel(
     let tl = first_tap(&comp_left, cfg.tap_threshold).ok_or(ChannelError::NoFirstTap)?;
     let tr = first_tap(&comp_right, cfg.tap_threshold).ok_or(ChannelError::NoFirstTap)?;
 
+    if uniq_obs::enabled() {
+        // First-tap SNR: tap amplitude against the RMS of the pre-tap
+        // noise floor. Diagnostic only — gated so the disabled path does
+        // no extra passes over the channel.
+        for (sig, tap) in [(&comp_left, &tl), (&comp_right, &tr)] {
+            if let Some(snr) = first_tap_snr_db(sig, tap.position) {
+                uniq_obs::metric("channel.first_tap_snr_db", snr, "dB");
+            }
+        }
+    }
+
     // Gate room reflections: keep `room_gate_s` after the earlier tap.
-    let gate = (tl.position.min(tr.position)
-        + cfg.room_gate_s * cfg.render.sample_rate)
-        .ceil() as usize;
+    let gate =
+        (tl.position.min(tr.position) + cfg.room_gate_s * cfg.render.sample_rate).ceil() as usize;
     let mut left = comp_left;
     let mut right = comp_right;
     let gate_l = gate.min(left.len());
@@ -112,7 +149,6 @@ mod tests {
     use uniq_acoustics::measure::{record_point_source, MeasurementSetup};
     use uniq_acoustics::pinna::PinnaModel;
     use uniq_acoustics::render::Renderer;
-    use uniq_acoustics::system::SystemResponse;
     use uniq_geometry::diffraction::path_to_ear;
     use uniq_geometry::{Ear, HeadBoundary, HeadParams, Vec2};
 
@@ -166,8 +202,7 @@ mod tests {
         let r = renderer(&c);
         let (setup, sys_ir) = calibrated_system(&c);
         // Source on the left → right tap later → positive relative delay.
-        let rec =
-            record_point_source(&r, &setup, Vec2::new(-0.45, 0.0), &c.probe(), 2).unwrap();
+        let rec = record_point_source(&r, &setup, Vec2::new(-0.45, 0.0), &c.probe(), 2).unwrap();
         let est = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap();
         assert!(est.relative_delay() > 5.0, "Δt = {}", est.relative_delay());
     }
@@ -183,8 +218,8 @@ mod tests {
         let est = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap();
 
         // Everything after the gate must be zero.
-        let gate = (est.tap_left.min(est.tap_right)
-            + c.room_gate_s * c.render.sample_rate) as usize;
+        let gate =
+            (est.tap_left.min(est.tap_right) + c.room_gate_s * c.render.sample_rate) as usize;
         let tail: f64 = est.ir.left[gate + 1..].iter().map(|v| v * v).sum();
         assert_eq!(tail, 0.0);
 
@@ -208,6 +243,27 @@ mod tests {
         let tap = (c.render.base_delay + 0.001) * c.render.sample_rate;
         let m = EstimatedChannel::tap_to_metres(tap, &c);
         assert!((m - 0.343).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_tap_snr_reflects_floor() {
+        // Noise floor at RMS 0.01, tap peak 1.0 at sample 100 → 40 dB.
+        let mut sig = vec![0.0; 200];
+        for (k, v) in sig.iter_mut().enumerate().take(90) {
+            *v = if k % 2 == 0 { 0.01 } else { -0.01 };
+        }
+        sig[100] = 1.0;
+        let snr = super::first_tap_snr_db(&sig, 100.0).unwrap();
+        assert!((snr - 40.0).abs() < 1.0, "snr {snr}");
+        // No pre-tap samples → no SNR.
+        assert_eq!(super::first_tap_snr_db(&sig, 0.0), None);
+        // Zero floor → no SNR.
+        let clean = {
+            let mut s = vec![0.0; 64];
+            s[32] = 1.0;
+            s
+        };
+        assert_eq!(super::first_tap_snr_db(&clean, 32.0), None);
     }
 
     #[test]

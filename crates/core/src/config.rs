@@ -102,30 +102,179 @@ impl UniqConfig {
         out
     }
 
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics on inconsistent parameters.
-    pub fn validate(&self) {
-        self.render.validate();
-        assert!(
-            self.probe_f0 > 0.0 && self.probe_f1 > self.probe_f0,
-            "probe band must satisfy 0 < f0 < f1"
-        );
-        assert!(
-            self.probe_f1 <= self.render.sample_rate / 2.0,
-            "probe exceeds Nyquist"
-        );
-        assert!(self.stops >= 4, "need at least 4 measurement stops");
-        assert!(self.channel_len >= 128, "channel_len too short");
-        assert!(
-            (0.0..1.0).contains(&self.tap_threshold),
-            "tap threshold must be a fraction"
-        );
-        assert!(self.grid_step_deg > 0.0 && self.grid_step_deg <= 30.0);
-        assert!(self.room_gate_s > 0.0);
+    /// Validates the configuration, reporting the first inconsistency
+    /// found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // Render checks (RenderConfig::validate panics; mirror them here
+        // so callers get a recoverable error instead).
+        if self.render.sample_rate <= 0.0 {
+            return Err(ConfigError::NonPositiveSampleRate {
+                sample_rate: self.render.sample_rate,
+            });
+        }
+        if self.render.ir_len < 64 {
+            return Err(ConfigError::IrTooShort {
+                ir_len: self.render.ir_len,
+            });
+        }
+        if self.render.speed_of_sound <= 0.0 {
+            return Err(ConfigError::NonPositiveSpeedOfSound {
+                speed_of_sound: self.render.speed_of_sound,
+            });
+        }
+        if self.render.base_delay < 0.0 {
+            return Err(ConfigError::NegativeBaseDelay {
+                base_delay: self.render.base_delay,
+            });
+        }
+        if !(self.probe_f0 > 0.0 && self.probe_f1 > self.probe_f0) {
+            return Err(ConfigError::BadProbeBand {
+                f0: self.probe_f0,
+                f1: self.probe_f1,
+            });
+        }
+        if self.probe_f1 > self.render.sample_rate / 2.0 {
+            return Err(ConfigError::ProbeBeyondNyquist {
+                f1: self.probe_f1,
+                nyquist: self.render.sample_rate / 2.0,
+            });
+        }
+        if self.stops < 4 {
+            return Err(ConfigError::TooFewStops { stops: self.stops });
+        }
+        if self.channel_len < 128 {
+            return Err(ConfigError::ChannelTooShort {
+                channel_len: self.channel_len,
+            });
+        }
+        if !(0.0..1.0).contains(&self.tap_threshold) {
+            return Err(ConfigError::BadTapThreshold {
+                tap_threshold: self.tap_threshold,
+            });
+        }
+        if !(self.grid_step_deg > 0.0 && self.grid_step_deg <= 30.0) {
+            return Err(ConfigError::BadGridStep {
+                grid_step_deg: self.grid_step_deg,
+            });
+        }
+        if self.room_gate_s <= 0.0 {
+            return Err(ConfigError::BadRoomGate {
+                room_gate_s: self.room_gate_s,
+            });
+        }
+        Ok(())
     }
 }
+
+/// An inconsistent [`UniqConfig`] parameter, found by
+/// [`UniqConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `render.sample_rate` must be positive.
+    NonPositiveSampleRate {
+        /// The offending value.
+        sample_rate: f64,
+    },
+    /// `render.ir_len` too short for head acoustics (minimum 64).
+    IrTooShort {
+        /// The offending value.
+        ir_len: usize,
+    },
+    /// `render.speed_of_sound` must be positive.
+    NonPositiveSpeedOfSound {
+        /// The offending value.
+        speed_of_sound: f64,
+    },
+    /// `render.base_delay` cannot be negative.
+    NegativeBaseDelay {
+        /// The offending value.
+        base_delay: f64,
+    },
+    /// Probe band must satisfy `0 < f0 < f1`.
+    BadProbeBand {
+        /// Chirp start frequency, Hz.
+        f0: f64,
+        /// Chirp end frequency, Hz.
+        f1: f64,
+    },
+    /// Probe end frequency exceeds the Nyquist frequency.
+    ProbeBeyondNyquist {
+        /// Chirp end frequency, Hz.
+        f1: f64,
+        /// Nyquist frequency, Hz.
+        nyquist: f64,
+    },
+    /// Fewer than the minimum 4 measurement stops.
+    TooFewStops {
+        /// The offending value.
+        stops: usize,
+    },
+    /// `channel_len` below the minimum of 128 samples.
+    ChannelTooShort {
+        /// The offending value.
+        channel_len: usize,
+    },
+    /// Tap threshold must be a fraction in `[0, 1)`.
+    BadTapThreshold {
+        /// The offending value.
+        tap_threshold: f64,
+    },
+    /// Grid step must be in `(0, 30]` degrees.
+    BadGridStep {
+        /// The offending value.
+        grid_step_deg: f64,
+    },
+    /// Room gate must be positive.
+    BadRoomGate {
+        /// The offending value.
+        room_gate_s: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveSampleRate { sample_rate } => {
+                write!(f, "sample_rate must be positive (got {sample_rate})")
+            }
+            ConfigError::IrTooShort { ir_len } => {
+                write!(f, "ir_len {ir_len} too short for head acoustics (min 64)")
+            }
+            ConfigError::NonPositiveSpeedOfSound { speed_of_sound } => {
+                write!(f, "speed of sound must be positive (got {speed_of_sound})")
+            }
+            ConfigError::NegativeBaseDelay { base_delay } => {
+                write!(f, "base delay cannot be negative (got {base_delay})")
+            }
+            ConfigError::BadProbeBand { f0, f1 } => {
+                write!(f, "probe band must satisfy 0 < f0 < f1 (got {f0}..{f1})")
+            }
+            ConfigError::ProbeBeyondNyquist { f1, nyquist } => {
+                write!(f, "probe exceeds Nyquist: f1 {f1} Hz > {nyquist} Hz")
+            }
+            ConfigError::TooFewStops { stops } => {
+                write!(f, "need at least 4 measurement stops (got {stops})")
+            }
+            ConfigError::ChannelTooShort { channel_len } => {
+                write!(f, "channel_len {channel_len} too short (min 128)")
+            }
+            ConfigError::BadTapThreshold { tap_threshold } => {
+                write!(f, "tap threshold must be a fraction (got {tap_threshold})")
+            }
+            ConfigError::BadGridStep { grid_step_deg } => {
+                write!(
+                    f,
+                    "grid step must be in (0, 30] degrees (got {grid_step_deg})"
+                )
+            }
+            ConfigError::BadRoomGate { room_gate_s } => {
+                write!(f, "room gate must be positive (got {room_gate_s})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -133,8 +282,8 @@ mod tests {
 
     #[test]
     fn default_validates() {
-        UniqConfig::default().validate();
-        UniqConfig::fast_test().validate();
+        UniqConfig::default().validate().unwrap();
+        UniqConfig::fast_test().validate().unwrap();
     }
 
     #[test]
@@ -163,12 +312,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Nyquist")]
     fn probe_beyond_nyquist_rejected() {
         let cfg = UniqConfig {
             probe_f1: 30_000.0,
             ..Default::default()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::ProbeBeyondNyquist { .. }));
+        assert!(err.to_string().contains("Nyquist"));
+    }
+
+    #[test]
+    fn each_bad_parameter_gets_its_own_error() {
+        let cases: Vec<(UniqConfig, ConfigError)> = vec![
+            (
+                UniqConfig {
+                    probe_f0: -5.0,
+                    ..Default::default()
+                },
+                ConfigError::BadProbeBand {
+                    f0: -5.0,
+                    f1: 20_000.0,
+                },
+            ),
+            (
+                UniqConfig {
+                    stops: 3,
+                    ..Default::default()
+                },
+                ConfigError::TooFewStops { stops: 3 },
+            ),
+            (
+                UniqConfig {
+                    channel_len: 10,
+                    ..Default::default()
+                },
+                ConfigError::ChannelTooShort { channel_len: 10 },
+            ),
+            (
+                UniqConfig {
+                    tap_threshold: 1.5,
+                    ..Default::default()
+                },
+                ConfigError::BadTapThreshold { tap_threshold: 1.5 },
+            ),
+            (
+                UniqConfig {
+                    grid_step_deg: 0.0,
+                    ..Default::default()
+                },
+                ConfigError::BadGridStep { grid_step_deg: 0.0 },
+            ),
+            (
+                UniqConfig {
+                    room_gate_s: 0.0,
+                    ..Default::default()
+                },
+                ConfigError::BadRoomGate { room_gate_s: 0.0 },
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate().unwrap_err(), want);
+        }
+    }
+
+    #[test]
+    fn render_checks_are_mirrored() {
+        let mut cfg = UniqConfig::default();
+        cfg.render.ir_len = 8;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::IrTooShort { ir_len: 8 }
+        ));
+        let mut cfg = UniqConfig::default();
+        cfg.render.base_delay = -1.0;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::NegativeBaseDelay { .. }
+        ));
     }
 }

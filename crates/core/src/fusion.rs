@@ -139,12 +139,12 @@ fn fusion_objective(e: &[f64], inputs: &[FusionInput], resolution: usize) -> f64
     let penalty = 30f64.powi(2);
     inputs
         .iter()
-        .map(|inp| {
-            match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
+        .map(
+            |inp| match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
                 Some(loc) => angle_diff_deg(inp.alpha_deg, loc.theta_deg).powi(2),
                 None => penalty,
-            }
-        })
+            },
+        )
         .sum()
 }
 
@@ -155,6 +155,7 @@ fn fusion_objective(e: &[f64], inputs: &[FusionInput], resolution: usize) -> f64
 /// a hopeless measurement set.
 pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
     assert!(inputs.len() >= 4, "fusion needs at least 4 stops");
+    let _span = uniq_obs::span("fusion");
     let resolution = cfg.inverse_resolution;
     let objective = |e: &[f64]| fusion_objective(e, inputs, resolution);
 
@@ -164,7 +165,6 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
         initial_step: 0.08,
         f_tol: 1e-6,
         x_tol: 1e-6,
-        ..Default::default()
     };
     let fit = nelder_mead(objective, &[seed.a, seed.b, seed.c], &opts);
     if !fit.fx.is_finite() {
@@ -180,7 +180,9 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
     for inp in inputs {
         match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
             Some(loc) => {
-                residual_sum += angle_diff_deg(inp.alpha_deg, loc.theta_deg);
+                let stop_residual = angle_diff_deg(inp.alpha_deg, loc.theta_deg);
+                uniq_obs::metric("fusion.stop_residual_deg", stop_residual, "deg");
+                residual_sum += stop_residual;
                 // Eq. 3: average the acoustic and inertial angles — along
                 // the shorter arc, so 359° and 1° blend to 0°, not 180°.
                 final_thetas.push(circular_blend(inp.alpha_deg, loc.theta_deg, 0.5));
@@ -199,9 +201,16 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
             }
         }
     }
+    uniq_obs::metric("fusion.localized_stops", localized as f64, "");
     if localized * 2 < inputs.len() {
         return None;
     }
+    uniq_obs::metric(
+        "fusion.mean_residual_deg",
+        residual_sum / localized as f64,
+        "deg",
+    );
+    uniq_obs::metric("fusion.objective", fit.fx, "deg^2");
 
     Some(FusionResult {
         head,
@@ -341,7 +350,9 @@ mod tests {
         // blended angles should beat the raw IMU.
         let truth = HeadParams::average_adult();
         let mut inputs = synthetic_inputs(truth, 0.45, 12);
-        let noise = [3.0, -2.0, 4.0, -3.5, 2.5, -1.5, 3.0, -4.0, 1.0, -2.0, 3.5, -1.0];
+        let noise = [
+            3.0, -2.0, 4.0, -3.5, 2.5, -1.5, 3.0, -4.0, 1.0, -2.0, 3.5, -1.0,
+        ];
         for (inp, n) in inputs.iter_mut().zip(noise) {
             inp.alpha_deg += n;
         }

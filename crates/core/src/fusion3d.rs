@@ -71,10 +71,7 @@ pub struct FusionResult3 {
 ///
 /// Returns `None` when the optimizer cannot reach a residual below one
 /// sample of path length (~7 mm at 48 kHz).
-pub fn localize_phone_3d(
-    head: &Head3,
-    input: &FusionInput3,
-) -> Option<Localized3> {
+pub fn localize_phone_3d(head: &Head3, input: &FusionInput3) -> Option<Localized3> {
     // Decision variables: (azimuth°, elevation°, radius m).
     let objective = |x: &[f64]| -> f64 {
         let (az, el, r) = (x[0], x[1], x[2]);
@@ -94,8 +91,7 @@ pub fn localize_phone_3d(
         // Weak prior (metres²-per-degree² scale chosen so a 10° deviation
         // costs about as much as a 3 mm distance residual).
         let prior = 1e-7
-            * (angle_diff_deg(az, input.alpha_az_deg).powi(2)
-                + (el - input.alpha_el_deg).powi(2));
+            * (angle_diff_deg(az, input.alpha_az_deg).powi(2) + (el - input.alpha_el_deg).powi(2));
         dist_term + prior
     };
 
@@ -115,8 +111,7 @@ pub fn localize_phone_3d(
     let pos = Vec3::from_angles(fit.x[0], fit.x[1]).scale(fit.x[2]);
     let dl = path_to_ear_3d_res(head, pos, Ear::Left, INVERSE_SECTION)?.length;
     let dr = path_to_ear_3d_res(head, pos, Ear::Right, INVERSE_SECTION)?.length;
-    let residual =
-        ((dl - input.d_left_m).powi(2) + (dr - input.d_right_m).powi(2)).sqrt();
+    let residual = ((dl - input.d_left_m).powi(2) + (dr - input.d_right_m).powi(2)).sqrt();
     if residual > 0.012 {
         return None;
     }
@@ -172,10 +167,7 @@ pub fn fuse_3d(inputs: &[FusionInput3]) -> Option<FusionResult3> {
     if !fit.fx.is_finite() {
         return None;
     }
-    let head = Head3::new(
-        HeadParams::new(fit.x[0], fit.x[1], fit.x[2]),
-        fit.x[3],
-    );
+    let head = Head3::new(HeadParams::new(fit.x[0], fit.x[1], fit.x[2]), fit.x[3]);
 
     let mut stops = Vec::new();
     let mut residual = 0.0;
@@ -232,7 +224,7 @@ pub fn run_session_3d(
     per_ring: usize,
     seed: u64,
 ) -> Result<Vec<StopMeasurement3>, ChannelError> {
-    cfg.validate();
+    cfg.validate().expect("invalid UniqConfig");
     let head3 = Head3::new(subject.head, 0.105 + (subject.id % 7) as f64 * 0.002);
     let renderer = Renderer3::new(
         head3,
@@ -289,9 +281,7 @@ pub fn run_session_3d(
 fn add_mic_noise(rec: &mut BinauralRecording, snr_db: f64, seed: u64) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    let rms = |v: &[f64]| {
-        (v.iter().map(|x| x * x).sum::<f64>() / v.len().max(1) as f64).sqrt()
-    };
+    let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len().max(1) as f64).sqrt();
     let level = rms(&rec.left).max(rms(&rec.right));
     if level <= 0.0 {
         return;
@@ -320,8 +310,12 @@ mod tests {
         let head = Head3::average_adult();
         for (az, el, r) in [(40.0, 15.0, 0.45), (120.0, -20.0, 0.4), (75.0, 45.0, 0.5)] {
             let pos = Vec3::from_angles(az, el).scale(r);
-            let dl = path_to_ear_3d_res(&head, pos, Ear::Left, 256).unwrap().length;
-            let dr = path_to_ear_3d_res(&head, pos, Ear::Right, 256).unwrap().length;
+            let dl = path_to_ear_3d_res(&head, pos, Ear::Left, 256)
+                .unwrap()
+                .length;
+            let dr = path_to_ear_3d_res(&head, pos, Ear::Right, 256)
+                .unwrap()
+                .length;
             let input = FusionInput3 {
                 alpha_az_deg: az + 3.0,
                 alpha_el_deg: el - 2.0,
@@ -339,7 +333,11 @@ mod tests {
                 "el {el}: got {}",
                 loc.elevation_deg
             );
-            assert!((loc.radius_m - r).abs() < 0.05, "r {r}: got {}", loc.radius_m);
+            assert!(
+                (loc.radius_m - r).abs() < 0.05,
+                "r {r}: got {}",
+                loc.radius_m
+            );
         }
     }
 
@@ -383,8 +381,12 @@ mod tests {
     fn too_few_stops_rejected() {
         let head = Head3::average_adult();
         let pos = Vec3::from_angles(30.0, 0.0).scale(0.4);
-        let dl = path_to_ear_3d_res(&head, pos, Ear::Left, 128).unwrap().length;
-        let dr = path_to_ear_3d_res(&head, pos, Ear::Right, 128).unwrap().length;
+        let dl = path_to_ear_3d_res(&head, pos, Ear::Left, 128)
+            .unwrap()
+            .length;
+        let dr = path_to_ear_3d_res(&head, pos, Ear::Right, 128)
+            .unwrap()
+            .length;
         let input = FusionInput3 {
             alpha_az_deg: 30.0,
             alpha_el_deg: 0.0,

@@ -203,7 +203,9 @@ mod tests {
     #[test]
     fn frontal_far_source_roughly_centred() {
         let t = table();
-        let sig = uniq_dsp::signal::tone(500.0, 0.02, 48_000.0);
+        // Broadband probe: a single tone can land on a per-ear pinna comb
+        // notch and fake an imbalance that isn't there across the band.
+        let sig = uniq_dsp::signal::linear_chirp(200.0, 12_000.0, 0.05, 48_000.0);
         let out = t.synthesize(&sig, 0.0, true);
         let el: f64 = out.left.iter().map(|v| v * v).sum();
         let er: f64 = out.right.iter().map(|v| v * v).sum();

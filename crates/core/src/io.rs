@@ -272,7 +272,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_arity() {
-        let text = "UNIQHRTF 1\nsample_rate 48000\nhead 0.07 0.1 0.09\nir_len 4\nnear 0 1 0 0 0 1 0 0\n";
+        let text =
+            "UNIQHRTF 1\nsample_rate 48000\nhead 0.07 0.1 0.09\nir_len 4\nnear 0 1 0 0 0 1 0 0\n";
         // 1 angle + 8 samples expected; gave 7 numbers after the angle.
         assert!(matches!(from_str(text), Err(ParseError::BadEntry(_))));
     }

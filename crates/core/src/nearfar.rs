@@ -28,12 +28,8 @@ use uniq_geometry::{Ear, HeadBoundary};
 ///
 /// `radius` is the (estimated) trajectory radius the near-field bank was
 /// measured at.
-pub fn convert(
-    near: &HrirBank,
-    fusion: &FusionResult,
-    cfg: &UniqConfig,
-    radius: f64,
-) -> HrirBank {
+pub fn convert(near: &HrirBank, fusion: &FusionResult, cfg: &UniqConfig, radius: f64) -> HrirBank {
+    let _span = uniq_obs::span("nearfar.convert");
     let boundary = HeadBoundary::new(fusion.head, cfg.inverse_resolution);
     let grid = cfg.output_grid();
     let sr = cfg.render.sample_rate;
@@ -141,7 +137,10 @@ pub mod attempts {
         freq_hz: f64,
     ) -> f64 {
         assert!(n_elements >= 2, "an array needs at least two elements");
-        assert!(n_angles >= 2 && n_patterns >= n_angles, "need an overdetermined system");
+        assert!(
+            n_angles >= 2 && n_patterns >= n_angles,
+            "need an overdetermined system"
+        );
         let k = 2.0 * std::f64::consts::PI * freq_hz / uniq_dsp::SPEED_OF_SOUND;
         // Steered beam magnitude: |Σ_e e^{j·e·(k d sinθ − k d sinφ_t)}|,
         // steering angle φ_t swept over the field of view per pattern.
@@ -226,6 +225,9 @@ pub mod attempts {
 
     /// Eigenvalues of a symmetric matrix by cyclic Jacobi rotations
     /// (destroys the input).
+    // Index-based loops mirror the textbook Jacobi formulation; the p/q/k
+    // row-column symmetry would be lost in iterator form.
+    #[allow(clippy::needless_range_loop)]
     fn symmetric_eigenvalues(g: &mut [Vec<f64>]) -> Vec<f64> {
         let n = g.len();
         for _sweep in 0..60 {

@@ -29,6 +29,7 @@ pub fn assemble_discrete(
     fusion: &FusionResult,
     cfg: &UniqConfig,
 ) -> HrirBank {
+    let _span = uniq_obs::span("nearfield.assemble");
     let mut pairs: Vec<(f64, BinauralIr)> = Vec::new();
     for (stop, (&theta, loc)) in session
         .stops
@@ -70,6 +71,7 @@ pub fn interpolate(
     cfg: &UniqConfig,
     radius: f64,
 ) -> HrirBank {
+    let _span = uniq_obs::span("nearfield.interpolate");
     let boundary = HeadBoundary::new(fusion.head, cfg.inverse_resolution);
     let angles = discrete.angles();
     let grid = cfg.output_grid();
@@ -106,10 +108,7 @@ fn blend_aligned(a: &BinauralIr, b: &BinauralIr, t: f64, cfg: &UniqConfig) -> Bi
             _ => lerp_vec(ea, eb, t),
         }
     };
-    BinauralIr::new(
-        blend_ear(&a.left, &b.left),
-        blend_ear(&a.right, &b.right),
-    )
+    BinauralIr::new(blend_ear(&a.left, &b.left), blend_ear(&a.right, &b.right))
 }
 
 /// §4.2 model correction: if the interpolated HRIR's first taps deviate
@@ -151,7 +150,6 @@ mod tests {
     use super::*;
     use uniq_acoustics::pinna::PinnaModel;
     use uniq_acoustics::render::Renderer;
-    use uniq_acoustics::types::RenderConfig;
     use uniq_geometry::HeadParams;
 
     fn cfg() -> UniqConfig {

@@ -8,7 +8,7 @@
 //! message to the user to redo the measurement exercise").
 
 use crate::channel::ChannelError;
-use crate::config::UniqConfig;
+use crate::config::{ConfigError, UniqConfig};
 use crate::fusion::{fuse, session_to_inputs, FusionResult};
 use crate::hrtf::PersonalHrtf;
 use crate::nearfield::{assemble_discrete, interpolate, mean_radius};
@@ -18,6 +18,8 @@ use uniq_subjects::Subject;
 /// Why a personalization attempt failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PersonalizationError {
+    /// The configuration is inconsistent (see [`ConfigError`]).
+    InvalidConfig(ConfigError),
     /// Channel estimation failed (no detectable taps).
     Channel(ChannelError),
     /// Sensor fusion could not localize a majority of stops.
@@ -35,6 +37,7 @@ pub enum PersonalizationError {
 impl std::fmt::Display for PersonalizationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PersonalizationError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             PersonalizationError::Channel(e) => write!(f, "channel estimation failed: {e}"),
             PersonalizationError::FusionFailed => write!(f, "sensor fusion failed"),
             PersonalizationError::GestureRejected {
@@ -72,14 +75,18 @@ pub fn personalize(
     cfg: &UniqConfig,
     seed: u64,
 ) -> Result<PersonalizationResult, PersonalizationError> {
-    cfg.validate();
+    cfg.validate()
+        .map_err(PersonalizationError::InvalidConfig)?;
+    let _span = uniq_obs::span("personalize");
     let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Channel)?;
     let inputs = session_to_inputs(&session, cfg);
     let fusion = fuse(&inputs, cfg).ok_or(PersonalizationError::FusionFailed)?;
 
     // §4.6 gesture auto-correction.
     let radius = mean_radius(&fusion);
+    uniq_obs::metric("personalize.radius_m", radius, "m");
     if radius < cfg.min_radius_m || fusion.mean_residual_deg > cfg.max_fusion_residual_deg {
+        uniq_obs::counter("gesture.rejected", 1);
         return Err(PersonalizationError::GestureRejected {
             radius_m: radius,
             residual_deg: fusion.mean_residual_deg,
@@ -88,6 +95,23 @@ pub fn personalize(
 
     let discrete = assemble_discrete(&session, &fusion, cfg);
     let near = interpolate(&discrete, &fusion, cfg, radius);
+    if uniq_obs::enabled() {
+        // §4.2 interpolation-quality diagnostics: per-ear first-tap
+        // deviation from the diffraction model, aggregated over the grid.
+        // Gated because it re-walks the whole interpolated bank.
+        let quality = crate::nearfield::interpolation_quality(&near, &fusion, cfg, radius);
+        let devs: Vec<f64> = quality
+            .iter()
+            .flat_map(|&(_, dl, dr)| [dl, dr])
+            .filter(|d| d.is_finite())
+            .collect();
+        if !devs.is_empty() {
+            let mean = devs.iter().sum::<f64>() / devs.len() as f64;
+            let max = devs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            uniq_obs::metric("nearfield.interp_tap_dev_mean", mean, "samples");
+            uniq_obs::metric("nearfield.interp_tap_dev_max", max, "samples");
+        }
+    }
     let far = crate::nearfar::convert(&near, &fusion, cfg, radius);
 
     let localization = session
@@ -120,9 +144,15 @@ pub fn personalize_with_retry(
         match personalize(subject, cfg, seed.wrapping_add(10_000 * attempt as u64)) {
             Ok(mut r) => {
                 r.attempts = attempt + 1;
+                uniq_obs::metric("personalize.attempts", r.attempts as f64, "");
                 return Ok(r);
             }
-            Err(e @ PersonalizationError::GestureRejected { .. }) => last_err = e,
+            Err(e @ PersonalizationError::GestureRejected { .. }) => {
+                if attempt + 1 < max_attempts {
+                    uniq_obs::counter("gesture.retry", 1);
+                }
+                last_err = e;
+            }
             Err(e) => return Err(e),
         }
     }

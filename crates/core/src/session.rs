@@ -53,7 +53,8 @@ pub fn run_session(
     cfg: &UniqConfig,
     seed: u64,
 ) -> Result<SessionData, ChannelError> {
-    cfg.validate();
+    cfg.validate().expect("invalid UniqConfig");
+    let _span = uniq_obs::span("session");
     let renderer = subject.renderer(cfg.render, FORWARD_RESOLUTION);
     let setup = if cfg.in_room {
         MeasurementSetup::home(cfg.render.sample_rate, cfg.snr_db)
@@ -96,6 +97,7 @@ pub fn run_session(
         });
     }
 
+    uniq_obs::metric("session.stops", out.len() as f64, "");
     Ok(SessionData {
         stops: out,
         system_ir,

@@ -31,8 +31,7 @@ impl ClockOffset {
     /// Converts a raw first-tap position (samples) into a propagation path
     /// length (metres) using this offset instead of an assumed base delay.
     pub fn tap_to_metres(&self, tap_samples: f64, cfg: &UniqConfig) -> f64 {
-        (tap_samples / cfg.render.sample_rate - self.offset_s)
-            * cfg.render.speed_of_sound
+        (tap_samples / cfg.render.sample_rate - self.offset_s) * cfg.render.speed_of_sound
     }
 }
 
@@ -48,9 +47,7 @@ pub fn estimate_clock_offset(
 ) -> Option<ClockOffset> {
     // Clock offsets can exceed the normal channel window (Bluetooth
     // buffering reaches tens of milliseconds), so deconvolve a wide view.
-    let window = cfg
-        .channel_len
-        .max((0.1 * cfg.render.sample_rate) as usize);
+    let window = cfg.channel_len.max((0.1 * cfg.render.sample_rate) as usize);
     let ch_left = wiener_deconvolve(&recording.left, probe, cfg.deconv_noise_floor, window);
     let ch_right = wiener_deconvolve(&recording.right, probe, cfg.deconv_noise_floor, window);
     // The touched ear dominates in energy; use its first tap.
@@ -82,8 +79,7 @@ mod tests {
     /// top of the configured base delay.
     fn touch_recording(c: &UniqConfig, extra_offset_s: f64, left: bool) -> BinauralRecording {
         let sr = c.render.sample_rate;
-        let total_delay =
-            (c.render.base_delay + extra_offset_s + CONTACT_DISTANCE_M / 343.0) * sr;
+        let total_delay = (c.render.base_delay + extra_offset_s + CONTACT_DISTANCE_M / 343.0) * sr;
         let mut ir = vec![0.0; 1024];
         add_fractional_impulse(&mut ir, total_delay, 1.0);
         let strong = convolve(&c.probe(), &ir);

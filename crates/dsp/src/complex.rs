@@ -127,6 +127,9 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division via the reciprocal is intentional: one conjugate-multiply
+    // plus a scalar divide, the standard complex-division formulation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()

@@ -117,7 +117,9 @@ mod tests {
         let mut state: u64 = 0x1234_5678_9abc_def0;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
             })
             .collect()
@@ -150,7 +152,9 @@ mod tests {
         // Deterministic pseudo-noise at ~-30 dB (independent LCG stream).
         let mut state: u64 = 0xdead_beef_cafe_f00d;
         for v in rx.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v += 0.01 * ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0);
         }
         let est = wiener_deconvolve(&rx, &probe, 1e-3, 64);

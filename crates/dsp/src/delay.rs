@@ -158,13 +158,9 @@ mod tests {
         let d = 3.5;
         let delayed = delay_fractional(&s, d);
         // Compare against analytically delayed tone in the steady-state region.
-        for k in 100..300 {
+        for (k, &got) in delayed.iter().enumerate().take(300).skip(100) {
             let expect = (2.0 * PI * f * (k as f64 - d) / sr).sin();
-            assert!(
-                (delayed[k] - expect).abs() < 1e-2,
-                "sample {k}: {} vs {expect}",
-                delayed[k]
-            );
+            assert!((got - expect).abs() < 1e-2, "sample {k}: {got} vs {expect}");
         }
     }
 

@@ -56,10 +56,7 @@ impl Biquad {
     /// Panics unless `0 < fc < sample_rate/2` and `q > 0`.
     pub fn bandpass(fc: f64, q: f64, sample_rate: f64) -> Self {
         let (_, alpha, cw) = rbj_params(fc, q, sample_rate);
-        Self::normalize(
-            [alpha, 0.0, -alpha],
-            [1.0 + alpha, -2.0 * cw, 1.0 - alpha],
-        )
+        Self::normalize([alpha, 0.0, -alpha], [1.0 + alpha, -2.0 * cw, 1.0 - alpha])
     }
 
     fn normalize(b: [f64; 3], a: [f64; 3]) -> Self {
@@ -74,9 +71,8 @@ impl Biquad {
         let mut out = Vec::with_capacity(input.len());
         let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
         for &x in input {
-            let y = self.b[0] * x + self.b[1] * x1 + self.b[2] * x2
-                - self.a[0] * y1
-                - self.a[1] * y2;
+            let y =
+                self.b[0] * x + self.b[1] * x1 + self.b[2] * x2 - self.a[0] * y1 - self.a[1] * y2;
             x2 = x1;
             x1 = x;
             y2 = y1;
@@ -91,8 +87,7 @@ impl Biquad {
         let w = 2.0 * PI * freq / sample_rate;
         let z1 = crate::Complex::cis(-w);
         let z2 = crate::Complex::cis(-2.0 * w);
-        let num =
-            crate::Complex::from_real(self.b[0]) + z1 * self.b[1] + z2 * self.b[2];
+        let num = crate::Complex::from_real(self.b[0]) + z1 * self.b[1] + z2 * self.b[2];
         let den = crate::Complex::ONE + z1 * self.a[0] + z2 * self.a[1];
         num / den
     }
@@ -147,9 +142,9 @@ impl BiquadCascade {
 
     /// Complex frequency response (product over sections).
     pub fn response(&self, freq: f64, sample_rate: f64) -> crate::Complex {
-        self.sections
-            .iter()
-            .fold(crate::Complex::ONE, |acc, s| acc * s.response(freq, sample_rate))
+        self.sections.iter().fold(crate::Complex::ONE, |acc, s| {
+            acc * s.response(freq, sample_rate)
+        })
     }
 
     /// Magnitude response in decibels.

@@ -69,7 +69,11 @@ pub fn bracket_angle(angles_deg: &[f64], angle_deg: f64) -> (usize, usize, f64) 
     let x1 = angles_deg[i1];
     let span = (x1 - x0).rem_euclid(360.0);
     let off = (a - x0).rem_euclid(360.0);
-    let t = if span <= 1e-12 { 0.0 } else { (off / span).clamp(0.0, 1.0) };
+    let t = if span <= 1e-12 {
+        0.0
+    } else {
+        (off / span).clamp(0.0, 1.0)
+    };
     (i0, i1, t)
 }
 

@@ -57,8 +57,7 @@ pub fn resample_sinc(signal: &[f64], from_rate: f64, to_rate: f64) -> Vec<f64> {
                 if x.abs() > HALF as f64 {
                     continue;
                 }
-                let w_idx = ((x + HALF as f64) / (2.0 * HALF as f64)
-                    * (win.len() - 1) as f64)
+                let w_idx = ((x + HALF as f64) / (2.0 * HALF as f64) * (win.len() - 1) as f64)
                     .round() as usize;
                 acc += signal[idx as usize] * sinc(x) * win[w_idx.min(win.len() - 1)] / scale;
             }

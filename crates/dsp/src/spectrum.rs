@@ -30,7 +30,9 @@ pub fn magnitude_spectrum(signal: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f6
     let spec = rfft(signal);
     let n = spec.len();
     let half = n / 2 + 1;
-    let freqs = (0..half).map(|k| k as f64 * sample_rate / n as f64).collect();
+    let freqs = (0..half)
+        .map(|k| k as f64 * sample_rate / n as f64)
+        .collect();
     let mags = spec[..half].iter().map(|z| z.abs()).collect();
     (freqs, mags)
 }

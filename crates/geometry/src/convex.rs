@@ -153,11 +153,7 @@ impl ConvexPolygon {
 
         // Tangent vertices: angular extremes as seen from src, measured
         // against the direction to the centroid.
-        let centroid = self
-            .verts
-            .iter()
-            .fold(Vec2::ZERO, |acc, &v| acc + v)
-            / n as f64;
+        let centroid = self.verts.iter().fold(Vec2::ZERO, |acc, &v| acc + v) / n as f64;
         let base = (centroid - src).angle();
         let signed = |v: Vec2| -> f64 {
             let mut a = ((v - src).angle() - base).rem_euclid(std::f64::consts::TAU);
@@ -190,7 +186,7 @@ impl ConvexPolygon {
                     self.arc_ccw(target_idx, t)
                 };
                 let total = seg + arc;
-                if best.map_or(true, |(l, _, _)| total < l) {
+                if best.is_none_or(|(l, _, _)| total < l) {
                     best = Some((total, t, ccw));
                 }
             }

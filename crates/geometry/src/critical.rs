@@ -59,11 +59,7 @@ fn on_arc(from: f64, to: f64, x: f64) -> bool {
 ///
 /// # Panics
 /// Panics if the trajectory radius does not clear the head.
-pub fn critical_angles(
-    boundary: &HeadBoundary,
-    theta_deg: f64,
-    radius: f64,
-) -> CriticalAngles {
+pub fn critical_angles(boundary: &HeadBoundary, theta_deg: f64, radius: f64) -> CriticalAngles {
     assert!(
         radius > boundary.params().max_radius() * 1.05,
         "trajectory radius {radius} m does not clear the head"

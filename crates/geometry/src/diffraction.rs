@@ -122,7 +122,7 @@ pub fn path_to_vertex(
                 boundary.arc_cw(t_idx, target_idx)
             };
             let total = seg + arc;
-            if best.map_or(true, |(l, _, _)| total < l) {
+            if best.is_none_or(|(l, _, _)| total < l) {
                 best = Some((total, t_idx, ccw));
             }
         }

@@ -65,7 +65,10 @@ impl Vec3 {
         Vec3::new(self.x / n, self.y / n, self.z / n)
     }
 
-    /// Difference.
+    /// Difference. Method form keeps `Vec3` consistent with the rest of its
+    /// call-style API (`scale`, `dist`, `dot`) without pulling in operator
+    /// impls for the 3-D prototype.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
@@ -136,9 +139,7 @@ impl Head3 {
         } else {
             self.planar.c
         };
-        let q = (d.x / self.planar.a).powi(2)
-            + (d.y / sy).powi(2)
-            + (d.z / self.h).powi(2);
+        let q = (d.x / self.planar.a).powi(2) + (d.y / sy).powi(2) + (d.z / self.h).powi(2);
         1.0 / q.sqrt()
     }
 
@@ -177,12 +178,7 @@ pub fn path_to_ear_3d(head: &Head3, src: Vec3, ear: Ear) -> Option<Path3> {
 ///
 /// # Panics
 /// Panics if `resolution < 16`.
-pub fn path_to_ear_3d_res(
-    head: &Head3,
-    src: Vec3,
-    ear: Ear,
-    resolution: usize,
-) -> Option<Path3> {
+pub fn path_to_ear_3d_res(head: &Head3, src: Vec3, ear: Ear, resolution: usize) -> Option<Path3> {
     assert!(resolution >= 16, "cross-section needs at least 16 vertices");
     if head.contains(src) {
         return None;

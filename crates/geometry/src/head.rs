@@ -143,7 +143,10 @@ impl HeadBoundary {
     /// Panics if `n < 16` or `n` is odd, or the parameters are implausible.
     pub fn new(params: HeadParams, n: usize) -> Self {
         params.validate();
-        assert!(n >= 16 && n % 2 == 0, "boundary needs an even n >= 16, got {n}");
+        assert!(
+            n >= 16 && n.is_multiple_of(2),
+            "boundary needs an even n >= 16, got {n}"
+        );
         let verts: Vec<Vec2> = (0..n)
             .map(|k| params.boundary_point(2.0 * PI * k as f64 / n as f64))
             .collect();
@@ -222,9 +225,7 @@ impl HeadBoundary {
         self.verts
             .iter()
             .enumerate()
-            .min_by(|(_, u), (_, v)| {
-                u.dist(p).partial_cmp(&v.dist(p)).expect("NaN distance")
-            })
+            .min_by(|(_, u), (_, v)| u.dist(p).partial_cmp(&v.dist(p)).expect("NaN distance"))
             .map(|(k, _)| k)
             .expect("non-empty boundary")
     }
@@ -368,9 +369,8 @@ mod tests {
         // Perimeter of the two-half-ellipse ≈ half perimeter of (a,b)
         // ellipse + half of (a,c). Ramanujan approximation per half.
         let h = head();
-        let ram = |a: f64, bb: f64| {
-            PI * (3.0 * (a + bb) - ((3.0 * a + bb) * (a + 3.0 * bb)).sqrt())
-        };
+        let ram =
+            |a: f64, bb: f64| PI * (3.0 * (a + bb) - ((3.0 * a + bb) * (a + 3.0 * bb)).sqrt());
         let expect = 0.5 * ram(h.a, h.b) + 0.5 * ram(h.a, h.c);
         let b = HeadBoundary::new(h, 4096);
         assert!(

@@ -143,8 +143,7 @@ mod tests {
         };
         let out = model.simulate(&rates, 0.01, 3);
         let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
-        let var: f64 =
-            out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / out.len() as f64;
+        let var: f64 = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / out.len() as f64;
         assert!((var.sqrt() - 0.3).abs() < 0.02, "std {}", var.sqrt());
     }
 

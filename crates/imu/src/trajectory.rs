@@ -166,8 +166,7 @@ pub fn generate_trajectory(plan: &GesturePlan, seed: u64) -> Vec<TrajectorySampl
     let state_at = |t: f64| -> (f64, f64, f64) {
         let theta = plan.theta_start_deg + span * progress(t);
         let x = (t / plan.duration_s).clamp(0.0, 1.0);
-        let radius = plan.radius_m
-            - imp.droop_m * x
+        let radius = plan.radius_m - imp.droop_m * x
             + imp.radius_wobble_m * (TAU * imp.radius_wobble_hz * t + wobble_phase).sin();
         let orient = theta + orientation_error(t);
         (theta, radius, orient)

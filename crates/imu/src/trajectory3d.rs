@@ -130,7 +130,7 @@ pub fn generate_spherical(plan: &SphericalPlan, seed: u64) -> Vec<TrajectorySamp
         if t_in <= plan.ring_duration_s || ring + 1 >= n_rings {
             // Sweeping within the ring: serpentine direction.
             let x = (t_in / plan.ring_duration_s).clamp(0.0, 1.0);
-            let (from, to) = if ring % 2 == 0 {
+            let (from, to) = if ring.is_multiple_of(2) {
                 (plan.theta_start_deg, plan.theta_end_deg)
             } else {
                 (plan.theta_end_deg, plan.theta_start_deg)
@@ -140,7 +140,7 @@ pub fn generate_spherical(plan: &SphericalPlan, seed: u64) -> Vec<TrajectorySamp
             // Transition: azimuth parked at the serpentine end, elevation
             // ramping to the next ring.
             let x = ((t_in - plan.ring_duration_s) / plan.transition_s).clamp(0.0, 1.0);
-            let theta = if ring % 2 == 0 {
+            let theta = if ring.is_multiple_of(2) {
                 plan.theta_end_deg
             } else {
                 plan.theta_start_deg
@@ -157,8 +157,9 @@ pub fn generate_spherical(plan: &SphericalPlan, seed: u64) -> Vec<TrajectorySamp
             let x = t / total;
             let radius = plan.radius_m - imp.droop_m * x
                 + imp.radius_wobble_m * (TAU * imp.radius_wobble_hz * t + wobble_phase).sin();
-            let orientation_az =
-                theta + aim_bias_az + imp.aim_error_deg * 0.6 * (TAU * 0.8 * x + aim_phase_az).sin();
+            let orientation_az = theta
+                + aim_bias_az
+                + imp.aim_error_deg * 0.6 * (TAU * 0.8 * x + aim_phase_az).sin();
             let orientation_el =
                 el + aim_bias_el + imp.aim_error_deg * 0.4 * (TAU * 0.6 * x + aim_phase_el).sin();
 
@@ -176,14 +177,12 @@ pub fn generate_spherical(plan: &SphericalPlan, seed: u64) -> Vec<TrajectorySamp
             let az_traj = |tt: f64| {
                 let (th, _, _) = state(tt);
                 let xx = tt / total;
-                th + aim_bias_az
-                    + imp.aim_error_deg * 0.6 * (TAU * 0.8 * xx + aim_phase_az).sin()
+                th + aim_bias_az + imp.aim_error_deg * 0.6 * (TAU * 0.8 * xx + aim_phase_az).sin()
             };
             let el_traj = |tt: f64| {
                 let (_, e, _) = state(tt);
                 let xx = tt / total;
-                e + aim_bias_el
-                    + imp.aim_error_deg * 0.4 * (TAU * 0.6 * xx + aim_phase_el).sin()
+                e + aim_bias_el + imp.aim_error_deg * 0.4 * (TAU * 0.6 * xx + aim_phase_el).sin()
             };
 
             TrajectorySample3 {
@@ -218,9 +217,7 @@ pub fn spherical_stops(
         // Samples strictly inside this ring's sweep (matching elevation).
         let members: Vec<&TrajectorySample3> = traj
             .iter()
-            .filter(|s| {
-                s.ring == ring && (s.elevation_deg - plan.rings_deg[ring]).abs() < 1e-9
-            })
+            .filter(|s| s.ring == ring && (s.elevation_deg - plan.rings_deg[ring]).abs() < 1e-9)
             .collect();
         if members.len() < per_ring {
             continue;

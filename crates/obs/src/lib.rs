@@ -1,0 +1,300 @@
+//! # uniq-obs
+//!
+//! Structured tracing and metrics for the UNIQ personalization pipeline:
+//! spans (scoped stage timers), counters, and numeric metrics, delivered
+//! to a pluggable [`Sink`]. Zero external dependencies.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Disabled is free.** With no sink installed, every instrumentation
+//!    point is one relaxed atomic load and a branch. The pipeline's numeric
+//!    output is identical with or without a sink — instrumentation only
+//!    observes, never steers.
+//! 2. **Scoped, not global-only.** Tests and concurrent callers install a
+//!    sink for one closure on one thread ([`with_sink`]); long-lived
+//!    processes (the CLI) may install a process-wide default
+//!    ([`set_global_sink`]). The thread-local scope wins when both exist.
+//! 3. **Pluggable output.** Four sinks ship: [`sink::NoopSink`],
+//!    [`sink::StderrSink`] (indented live span tree), [`sink::JsonLinesSink`]
+//!    (machine-readable events), and [`sink::MemorySink`] (in-process
+//!    collector for assertions and end-of-run summaries). [`sink::MultiSink`]
+//!    fans out to several.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use uniq_obs::sink::MemorySink;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! uniq_obs::with_sink(sink.clone(), || {
+//!     let _span = uniq_obs::span("stage");
+//!     uniq_obs::metric("stage.quality", 0.93, "corr");
+//!     uniq_obs::counter("stage.retries", 1);
+//! });
+//! assert_eq!(sink.span_tree(), vec![("stage".to_string(), 0)]);
+//! assert_eq!(sink.metric_values("stage.quality"), vec![0.93]);
+//! assert_eq!(sink.counter_total("stage.retries"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sink;
+
+use sink::Sink;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// One observability event, as delivered to sinks.
+///
+/// Span names are `&'static str` by design: instrumentation points are
+/// compile-time sites, and static names keep the disabled path allocation
+/// free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened. `depth` is the nesting level on the emitting thread
+    /// (0 = root).
+    SpanStart {
+        /// Span name (static instrumentation site).
+        name: &'static str,
+        /// Nesting depth at open time.
+        depth: usize,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span name (matches the corresponding start).
+        name: &'static str,
+        /// Nesting depth the span was opened at.
+        depth: usize,
+        /// Wall-clock duration, nanoseconds.
+        nanos: u128,
+    },
+    /// A monotonically accumulating count.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Increment (always added, never replaced).
+        delta: u64,
+    },
+    /// A numeric observation (one histogram sample).
+    Metric {
+        /// Metric name.
+        name: &'static str,
+        /// Observed value.
+        value: f64,
+        /// Unit label (e.g. `"deg"`, `"m"`, `"dB"`); purely descriptive.
+        unit: &'static str,
+    },
+}
+
+/// Count of installed sinks anywhere in the process (global + all scoped).
+/// The fast-path "is anything listening?" check.
+static ACTIVE_SINKS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide default sink (used when no thread-local scope is active).
+static GLOBAL_SINK: OnceLock<Arc<dyn Sink>> = OnceLock::new();
+
+thread_local! {
+    /// Stack of scoped sinks on this thread; the innermost wins.
+    static SCOPED: RefCell<Vec<Arc<dyn Sink>>> = const { RefCell::new(Vec::new()) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Whether any sink could currently receive events. This is the cheap
+/// enabled-check instrumentation sites use before doing *any* other work;
+/// when it returns `false` the cost is one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE_SINKS.load(Ordering::Relaxed) != 0 && current_sink().is_some()
+}
+
+/// Current span nesting depth on this thread (0 when no span is open).
+/// Used by display sinks to indent metric/counter lines under the
+/// enclosing span.
+pub fn current_depth() -> usize {
+    DEPTH.with(|d| d.get())
+}
+
+fn current_sink() -> Option<Arc<dyn Sink>> {
+    let scoped = SCOPED.with(|s| s.borrow().last().cloned());
+    scoped.or_else(|| GLOBAL_SINK.get().cloned())
+}
+
+/// Installs `sink` as the process-wide default. Returns `false` if a global
+/// sink was already installed (the first installation wins, as with a
+/// logger). Scoped sinks from [`with_sink`] still take precedence on their
+/// thread.
+pub fn set_global_sink(sink: Arc<dyn Sink>) -> bool {
+    let installed = GLOBAL_SINK.set(sink).is_ok();
+    if installed {
+        ACTIVE_SINKS.fetch_add(1, Ordering::Relaxed);
+    }
+    installed
+}
+
+/// Runs `f` with `sink` receiving this thread's events, restoring the
+/// previous state afterwards (exception safe). Scopes nest; the innermost
+/// sink receives the events.
+pub fn with_sink<T>(sink: Arc<dyn Sink>, f: impl FnOnce() -> T) -> T {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SCOPED.with(|s| s.borrow_mut().pop());
+            ACTIVE_SINKS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    SCOPED.with(|s| s.borrow_mut().push(sink));
+    ACTIVE_SINKS.fetch_add(1, Ordering::Relaxed);
+    let _guard = Guard;
+    f()
+}
+
+fn dispatch(event: &Event) {
+    if let Some(sink) = current_sink() {
+        sink.on_event(event);
+    }
+}
+
+/// Opens a span: emits [`Event::SpanStart`] now and [`Event::SpanEnd`] with
+/// the elapsed wall time when the returned guard drops. When no sink is
+/// installed the guard is inert and nothing is measured.
+#[must_use = "the span closes when the guard drops — bind it with `let _span = ...`"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    dispatch(&Event::SpanStart { name, depth });
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            depth,
+            start: Instant::now(),
+        }),
+    }
+}
+
+struct LiveSpan {
+    name: &'static str,
+    depth: usize,
+    start: Instant,
+}
+
+/// RAII guard for an open span (see [`span`]).
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            dispatch(&Event::SpanEnd {
+                name: live.name,
+                depth: live.depth,
+                nanos: live.start.elapsed().as_nanos(),
+            });
+        }
+    }
+}
+
+/// Records a numeric observation (one histogram sample).
+#[inline]
+pub fn metric(name: &'static str, value: f64, unit: &'static str) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::Metric { name, value, unit });
+}
+
+/// Increments a counter.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::Counter { name, delta });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sink::MemorySink;
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_inert() {
+        // No scoped sink on this thread → span/metric/counter are no-ops.
+        let g = span("nobody-listens");
+        metric("m", 1.0, "");
+        counter("c", 1);
+        drop(g);
+    }
+
+    #[test]
+    fn span_nesting_depths_recorded() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            let _sibling = span("sibling");
+        });
+        assert_eq!(
+            sink.span_tree(),
+            vec![
+                ("outer".to_string(), 0),
+                ("inner".to_string(), 1),
+                ("sibling".to_string(), 1),
+            ]
+        );
+        // Every start has a matching end with plausible timing.
+        let ends: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::SpanEnd { .. }))
+            .collect();
+        assert_eq!(ends.len(), 3);
+    }
+
+    #[test]
+    fn scoped_sink_restored_after_panic_free_exit() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            let _s = span("in-scope");
+        });
+        let _after = span("out-of-scope");
+        assert_eq!(sink.span_tree().len(), 1);
+    }
+
+    #[test]
+    fn nested_scopes_innermost_wins() {
+        let outer = Arc::new(MemorySink::new());
+        let inner = Arc::new(MemorySink::new());
+        with_sink(outer.clone(), || {
+            metric("seen.outer", 1.0, "");
+            with_sink(inner.clone(), || metric("seen.inner", 2.0, ""));
+            metric("seen.outer", 3.0, "");
+        });
+        assert_eq!(outer.metric_values("seen.outer"), vec![1.0, 3.0]);
+        assert_eq!(outer.metric_values("seen.inner"), Vec::<f64>::new());
+        assert_eq!(inner.metric_values("seen.inner"), vec![2.0]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            counter("retries", 1);
+            counter("retries", 2);
+        });
+        assert_eq!(sink.counter_total("retries"), 3);
+    }
+}

@@ -68,11 +68,7 @@ pub struct OptimResult {
 ///
 /// # Panics
 /// Panics if `x0` is empty or `f` returns NaN.
-pub fn nelder_mead(
-    f: impl Fn(&[f64]) -> f64,
-    x0: &[f64],
-    opts: &NelderMeadOptions,
-) -> OptimResult {
+pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: &NelderMeadOptions) -> OptimResult {
     assert!(!x0.is_empty(), "nelder_mead: empty start point");
     let n = x0.len();
     let eval = |x: &[f64]| -> f64 {
@@ -111,7 +107,10 @@ pub fn nelder_mead(
         let spread = (worst - best).abs();
         let size: f64 = (0..n)
             .map(|i| {
-                let lo = simplex.iter().map(|(x, _)| x[i]).fold(f64::INFINITY, f64::min);
+                let lo = simplex
+                    .iter()
+                    .map(|(x, _)| x[i])
+                    .fold(f64::INFINITY, f64::min);
                 let hi = simplex
                     .iter()
                     .map(|(x, _)| x[i])
@@ -228,11 +227,7 @@ pub fn golden_section(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64) -> (f6
 ///
 /// # Panics
 /// Panics on empty bounds, `steps < 2`, or inverted bounds.
-pub fn grid_search(
-    f: impl Fn(&[f64]) -> f64,
-    bounds: &[(f64, f64)],
-    steps: usize,
-) -> OptimResult {
+pub fn grid_search(f: impl Fn(&[f64]) -> f64, bounds: &[(f64, f64)], steps: usize) -> OptimResult {
     assert!(!bounds.is_empty(), "grid_search: no bounds");
     assert!(steps >= 2, "grid_search: need at least 2 steps");
     for &(lo, hi) in bounds {
@@ -338,9 +333,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_rosenbrock() {
-        let f = |x: &[f64]| {
-            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
-        };
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let opts = NelderMeadOptions {
             max_iter: 5000,
             ..Default::default()
@@ -366,9 +359,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_3d() {
-        let f = |x: &[f64]| {
-            (x[0] - 0.08).powi(2) + (x[1] - 0.10).powi(2) + (x[2] - 0.09).powi(2)
-        };
+        let f = |x: &[f64]| (x[0] - 0.08).powi(2) + (x[1] - 0.10).powi(2) + (x[2] - 0.09).powi(2);
         let r = nelder_mead(f, &[0.075, 0.095, 0.085], &NelderMeadOptions::default());
         assert!(r.fx < 1e-10);
     }

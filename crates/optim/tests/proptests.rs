@@ -46,7 +46,7 @@ proptest! {
         cx in 0.1..0.9f64, steps in 3usize..20,
     ) {
         let f = |x: &[f64]| (x[0] - cx).powi(2);
-        let r = grid_search(&f, &[(0.0, 1.0)], steps);
+        let r = grid_search(f, &[(0.0, 1.0)], steps);
         // The returned point must be within one grid cell of the optimum.
         let cell = 1.0 / (steps - 1) as f64;
         prop_assert!((r.x[0] - cx).abs() <= cell / 2.0 + 1e-12);

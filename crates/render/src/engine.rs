@@ -31,11 +31,7 @@ impl BinauralEngine {
         pose: &ListenerPose,
         signal: &[f64],
     ) -> BinauralSignal {
-        let pairs: Vec<(&[f64], _)> = scene
-            .sources
-            .iter()
-            .map(|s| (signal, s))
-            .collect();
+        let pairs: Vec<(&[f64], _)> = scene.sources.iter().map(|s| (signal, s)).collect();
         self.mix(pose, &pairs)
     }
 
@@ -162,9 +158,8 @@ mod tests {
         let out_askew = e.render_scene(&scene, &askew, &sig);
         let out_facing = e.render_scene(&scene, &facing, &sig);
 
-        let imbalance = |o: &uniq_core::hrtf::BinauralSignal| {
-            (energy(&o.left) / energy(&o.right)).ln().abs()
-        };
+        let imbalance =
+            |o: &uniq_core::hrtf::BinauralSignal| (energy(&o.left) / energy(&o.right)).ln().abs();
         assert!(
             imbalance(&out_facing) < imbalance(&out_askew),
             "facing the source should balance the ears"

@@ -54,8 +54,8 @@ pub fn compare(
     let lsd = |a: &[f64], b: &[f64]| -> f64 {
         log_spectral_distortion(a, b, sample_rate, 200.0, 16_000.0)
     };
-    let lsd_db = 0.5 * (lsd(&rendered.left, &reference.left)
-        + lsd(&rendered.right, &reference.right));
+    let lsd_db =
+        0.5 * (lsd(&rendered.left, &reference.left) + lsd(&rendered.right, &reference.right));
 
     // ITD via interaural cross-correlation lag.
     let itd = |s: &BinauralSignal| xcorr_peak_lag_subsample(&s.left, &s.right);
@@ -174,7 +174,11 @@ mod tests {
             *v *= 2.0; // +6 dB on one ear
         }
         let m = compare(&skewed, &reference, 48_000.0);
-        assert!((m.ild_error_db - 6.0).abs() < 0.5, "ild error {}", m.ild_error_db);
+        assert!(
+            (m.ild_error_db - 6.0).abs() < 0.5,
+            "ild error {}",
+            m.ild_error_db
+        );
     }
 
     #[test]

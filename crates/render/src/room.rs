@@ -97,10 +97,13 @@ mod tests {
     fn hrtf() -> PersonalHrtf {
         let cfg = RenderConfig::default();
         let head = HeadParams::average_adult();
+        // Identical pinnae on both ears: these tests assert geometric
+        // (head-shadow / rotation) effects, which random per-ear pinna
+        // differences would otherwise mask.
         let r = Renderer::new(
             HeadBoundary::new(head, 512),
             PinnaModel::from_seed(701),
-            PinnaModel::from_seed(702),
+            PinnaModel::from_seed(701),
             cfg,
         );
         let angles: Vec<f64> = (0..=18).map(|k| k as f64 * 10.0).collect();

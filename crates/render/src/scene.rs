@@ -120,7 +120,7 @@ mod tests {
             heading_deg: 315.0, // bearing of (+1, +1): −45° = 315°
         };
         let theta = pose.perceived_theta(Vec2::new(1.0, 1.0));
-        assert!(theta < 1.0 || theta > 359.0, "theta {theta}");
+        assert!(!(1.0..=359.0).contains(&theta), "theta {theta}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn to_wav_bytes(signal: &BinauralSignal, sample_rate: f64) -> Vec<u8> {
     out.extend_from_slice(&(sr * 4).to_le_bytes()); // byte rate
     out.extend_from_slice(&4u16.to_le_bytes()); // block align
     out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
-    // data chunk.
+                                                 // data chunk.
     out.extend_from_slice(b"data");
     out.extend_from_slice(&data_bytes.to_le_bytes());
     for (l, r) in signal.left.iter().zip(&signal.right) {

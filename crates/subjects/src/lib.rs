@@ -138,7 +138,9 @@ pub fn global_template(cfg: RenderConfig, angles_deg: &[f64]) -> HrirBank {
 /// A disjoint pool of extra subjects (ids ≥ 2000) for population studies
 /// and ablations.
 pub fn population(n: usize) -> Vec<Subject> {
-    (0..n as u64).map(|k| Subject::from_seed(2000 + k)).collect()
+    (0..n as u64)
+        .map(|k| Subject::from_seed(2000 + k))
+        .collect()
 }
 
 #[cfg(test)]

@@ -25,7 +25,9 @@ fn main() {
     };
     let subject = Subject::from_seed(33);
     println!("personalizing HRTF…");
-    let personal = personalize(&subject, &cfg, 9).expect("personalization").hrtf;
+    let personal = personalize(&subject, &cfg, 9)
+        .expect("personalization")
+        .hrtf;
     let global = global_template(cfg.render, &cfg.output_grid());
 
     let renderer = subject.renderer(cfg.render, uniq_subjects::FORWARD_RESOLUTION);

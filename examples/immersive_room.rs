@@ -28,17 +28,15 @@ fn main() {
     };
     let subject = Subject::from_seed(55);
     println!("personalizing HRTF…");
-    let hrtf = personalize(&subject, &cfg, 21).expect("personalization").hrtf;
+    let hrtf = personalize(&subject, &cfg, 21)
+        .expect("personalization")
+        .hrtf;
 
     let room = Shoebox::typical_living_room();
     let source = Vec2::new(-1.4, 1.8); // a speaker front-left in the room
     let sr = cfg.render.sample_rate;
-    let music = uniq_acoustics::signals::generate(
-        uniq_acoustics::signals::SignalKind::Music,
-        2.0,
-        sr,
-        808,
-    );
+    let music =
+        uniq_acoustics::signals::generate(uniq_acoustics::signals::SignalKind::Music, 2.0, sr, 808);
 
     println!("rendering direct sound + wall echoes through the personal HRTF…");
     let dry = hrtf.synthesize_at(&music, source);
@@ -84,13 +82,19 @@ fn main() {
     for (k, pose) in poses.iter().enumerate() {
         let chunk = &music[k * block..((k + 1) * block).min(music.len())];
         let out = render_in_room(&hrtf, &room, source, pose, chunk, cfg.render.speed_of_sound);
-        turn.left.extend_from_slice(&out.left[..block.min(out.left.len())]);
-        turn.right.extend_from_slice(&out.right[..block.min(out.right.len())]);
+        turn.left
+            .extend_from_slice(&out.left[..block.min(out.left.len())]);
+        turn.right
+            .extend_from_slice(&out.right[..block.min(out.right.len())]);
     }
     normalize(&mut turn);
     let path = std::path::Path::new("immersive_room.wav");
     uniq_render::wav::write_wav(&turn, sr, path).expect("write wav");
-    println!("wrote {} ({:.1} s of audio)", path.display(), turn.left.len() as f64 / sr);
+    println!(
+        "wrote {} ({:.1} s of audio)",
+        path.display(),
+        turn.left.len() as f64 / sr
+    );
 }
 
 fn clip_to(s: &BinauralSignal, n: usize) -> BinauralSignal {

@@ -41,8 +41,7 @@ fn main() {
 
     println!(
         "fitted head parameters: a={:.3} b={:.3} c={:.3} (truth: a={:.3} b={:.3} c={:.3})",
-        fusion.head.a, fusion.head.b, fusion.head.c,
-        subject.head.a, subject.head.b, subject.head.c
+        fusion.head.a, fusion.head.b, fusion.head.c, subject.head.a, subject.head.b, subject.head.c
     );
 
     println!("\n  stop   truth θ    IMU α    acoustic θ(E)   fused θ    error");

@@ -24,15 +24,19 @@ fn main() {
     };
 
     let subject = Subject::from_seed(42);
-    println!("subject head: a={:.3} m, b={:.3} m, c={:.3} m",
-        subject.head.a, subject.head.b, subject.head.c);
+    println!(
+        "subject head: a={:.3} m, b={:.3} m, c={:.3} m",
+        subject.head.a, subject.head.b, subject.head.c
+    );
 
     println!("\nrunning measurement session + UNIQ pipeline…");
     let result = personalize(&subject, &cfg, 1).expect("personalization succeeds");
 
     println!(
         "fitted head:  a={:.3} m, b={:.3} m, c={:.3} m  (fusion residual {:.1}°)",
-        result.fusion.head.a, result.fusion.head.b, result.fusion.head.c,
+        result.fusion.head.a,
+        result.fusion.head.b,
+        result.fusion.head.c,
         result.fusion.mean_residual_deg
     );
 
@@ -66,13 +70,13 @@ fn main() {
     for (a, p, g) in &rows {
         println!("  {a:>5.0}°        {p:.3}     {g:.3}");
     }
-    let mean = |f: fn(&(f64, f64, f64)) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
-    };
+    let mean = |f: fn(&(f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     let p = mean(|r| r.1);
     let g = mean(|r| r.2);
     println!(
         "\nmean HRIR correlation: personalized {:.3} vs global {:.3}  ({:.2}x closer to truth)",
-        p, g, p / g
+        p,
+        g,
+        p / g
     );
 }

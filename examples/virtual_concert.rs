@@ -23,7 +23,9 @@ fn main() {
     };
     let subject = Subject::from_seed(12);
     println!("personalizing HRTF…");
-    let hrtf = personalize(&subject, &cfg, 3).expect("personalization").hrtf;
+    let hrtf = personalize(&subject, &cfg, 3)
+        .expect("personalization")
+        .hrtf;
     let engine = BinauralEngine::new(hrtf);
 
     // The stage: piano front-left, violin front-right, both far-field.
@@ -32,12 +34,10 @@ fn main() {
     scene.add("violin", Vec2::new(2.5, 4.0), 0.8);
 
     let sr = cfg.render.sample_rate;
-    let piano = uniq_acoustics::signals::generate(
-        uniq_acoustics::signals::SignalKind::Music, 1.0, sr, 100,
-    );
-    let violin = uniq_acoustics::signals::generate(
-        uniq_acoustics::signals::SignalKind::Music, 1.0, sr, 200,
-    );
+    let piano =
+        uniq_acoustics::signals::generate(uniq_acoustics::signals::SignalKind::Music, 1.0, sr, 100);
+    let violin =
+        uniq_acoustics::signals::generate(uniq_acoustics::signals::SignalKind::Music, 1.0, sr, 200);
 
     // Static listener, facing the stage.
     let pose = ListenerPose::default();
@@ -45,7 +45,8 @@ fn main() {
     let energy = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
     println!(
         "facing the stage:    L {:.2}  R {:.2}  (balanced stage)",
-        energy(&out.left), energy(&out.right)
+        energy(&out.left),
+        energy(&out.right)
     );
 
     // The listener slowly turns to the left; the stage must swing right.
@@ -53,7 +54,10 @@ fn main() {
     let mono: Vec<f64> = piano.iter().zip(&violin).map(|(a, b)| a + b).collect();
     let moving = render_with_motion(&engine, &scene, &poses, &mono, 2048, 256);
     let n = moving.left.len();
-    let early = (energy(&moving.left[..n / 4]), energy(&moving.right[..n / 4]));
+    let early = (
+        energy(&moving.left[..n / 4]),
+        energy(&moving.right[..n / 4]),
+    );
     let late = (
         energy(&moving.left[3 * n / 4..]),
         energy(&moving.right[3 * n / 4..]),
@@ -62,6 +66,10 @@ fn main() {
     println!("turn end   (left):   L {:.2}  R {:.2}", late.0, late.1);
     println!(
         "→ stage moved toward the {} ear as the head turned left",
-        if late.1 / late.0 > early.1 / early.0 { "right" } else { "left" }
+        if late.1 / late.0 > early.1 / early.0 {
+            "right"
+        } else {
+            "left"
+        }
     );
 }

@@ -24,7 +24,9 @@ fn main() {
     };
     let subject = Subject::from_seed(21);
     println!("personalizing HRTF…");
-    let hrtf = personalize(&subject, &cfg, 5).expect("personalization").hrtf;
+    let hrtf = personalize(&subject, &cfg, 5)
+        .expect("personalization")
+        .hrtf;
     let engine = BinauralEngine::new(hrtf);
 
     // A simple route through two turns.
@@ -35,14 +37,20 @@ fn main() {
     ];
     let sr = cfg.render.sample_rate;
     let voice = uniq_acoustics::signals::generate(
-        uniq_acoustics::signals::SignalKind::Speech, 0.5, sr, 777,
+        uniq_acoustics::signals::SignalKind::Speech,
+        0.5,
+        sr,
+        777,
     );
     let energy = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
 
     let mut pos = Vec2::ZERO;
     let mut heading = 0.0;
     for (leg, wp) in waypoints.iter().enumerate() {
-        let pose = ListenerPose { position: pos, heading_deg: heading };
+        let pose = ListenerPose {
+            position: pos,
+            heading_deg: heading,
+        };
         let mut scene = Scene::new();
         scene.add("guide", *wp, 1.0);
         let out = engine.render_scene(&scene, &pose, &voice);

@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: the full UNIQ pipeline from simulated
 //! gesture to personalized HRTF and its applications.
 
+use uniq_acoustics::measure::{record_plane_wave, MeasurementSetup};
 use uniq_core::aoa::{estimate_known_source, front_back_accuracy};
 use uniq_core::config::UniqConfig;
 use uniq_core::pipeline::{personalize, personalize_with_retry};
-use uniq_acoustics::measure::{record_plane_wave, MeasurementSetup};
 use uniq_geometry::vec2::angle_diff_deg;
 use uniq_subjects::{evaluation_cohort, global_template, Subject};
 
@@ -140,5 +140,8 @@ fn binaural_rendering_through_personalized_hrtf() {
     let out = engine.render_scene(&scene, &uniq_render::ListenerPose::default(), &sig);
     let el: f64 = out.left.iter().map(|v| v * v).sum();
     let er: f64 = out.right.iter().map(|v| v * v).sum();
-    assert!(el > er, "left virtual source not left-dominant: {el} vs {er}");
+    assert!(
+        el > er,
+        "left virtual source not left-dominant: {el} vs {er}"
+    );
 }

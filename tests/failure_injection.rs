@@ -98,11 +98,9 @@ fn tiny_room_gate_never_panics() {
         ..base_cfg()
     };
     let subject = Subject::from_seed(404);
-    match personalize(&subject, &cfg, 5) {
-        Ok(result) => {
-            assert_eq!(result.hrtf.far().len(), cfg.output_grid().len());
-        }
-        Err(_) => {} // structured failure is fine
+    // A structured failure is fine; success must produce a full table.
+    if let Ok(result) = personalize(&subject, &cfg, 5) {
+        assert_eq!(result.hrtf.far().len(), cfg.output_grid().len());
     }
 }
 

@@ -1,0 +1,137 @@
+//! Integration tests for the uniq-obs tracing/metrics layer: the pipeline
+//! emits the documented span hierarchy and quality metrics, and the
+//! instrumentation never changes the numerical output.
+
+use std::sync::Arc;
+
+use uniq_core::config::UniqConfig;
+use uniq_core::pipeline::{personalize, personalize_with_retry, PersonalizationResult};
+use uniq_obs::sink::{MemorySink, NoopSink};
+use uniq_subjects::Subject;
+
+fn obs_cfg() -> UniqConfig {
+    UniqConfig {
+        in_room: false,
+        snr_db: 45.0,
+        grid_step_deg: 10.0,
+        ..UniqConfig::fast_test()
+    }
+}
+
+#[test]
+fn pipeline_emits_expected_span_hierarchy() {
+    let cfg = obs_cfg();
+    let subject = Subject::from_seed(70);
+    let memory = Arc::new(MemorySink::new());
+    uniq_obs::with_sink(memory.clone(), || {
+        personalize(&subject, &cfg, 42).expect("pipeline succeeds")
+    });
+
+    let tree = memory.span_tree();
+    assert!(!tree.is_empty(), "no spans recorded");
+
+    // Root span at depth 0, everything else nested beneath it.
+    assert_eq!(tree[0], ("personalize".to_string(), 0));
+    for (name, depth) in &tree[1..] {
+        assert!(*depth >= 1, "span {name} escaped the personalize root");
+    }
+
+    // Stage spans appear, each directly under `personalize`.
+    for stage in [
+        "session",
+        "fusion",
+        "nearfield.assemble",
+        "nearfield.interpolate",
+        "nearfar.convert",
+    ] {
+        let depth = tree
+            .iter()
+            .find(|(name, _)| name == stage)
+            .unwrap_or_else(|| panic!("missing span {stage}"))
+            .1;
+        assert_eq!(depth, 1, "span {stage} not nested directly under root");
+    }
+
+    // Channel estimation runs once per stop, inside `session`.
+    let per_stop: Vec<usize> = tree
+        .iter()
+        .filter(|(name, _)| name == "channel.estimate")
+        .map(|(_, depth)| *depth)
+        .collect();
+    assert_eq!(per_stop.len(), cfg.stops, "one channel span per stop");
+    assert!(per_stop.iter().all(|d| *d == 2));
+
+    // Span timings are recorded and the root dominates its children.
+    let root_nanos = memory.span_nanos("personalize");
+    assert!(root_nanos > 0);
+    assert!(memory.span_nanos("fusion") <= root_nanos);
+}
+
+#[test]
+fn pipeline_records_quality_metrics() {
+    let cfg = obs_cfg();
+    let subject = Subject::from_seed(71);
+    let memory = Arc::new(MemorySink::new());
+    let result = uniq_obs::with_sink(memory.clone(), || {
+        personalize_with_retry(&subject, &cfg, 43, 3).expect("pipeline succeeds")
+    });
+
+    // Per-stop fusion residuals: one per localized stop, all finite.
+    let residuals = memory.metric_values("fusion.stop_residual_deg");
+    assert!(!residuals.is_empty());
+    assert!(residuals.iter().all(|r| r.is_finite() && *r >= 0.0));
+    let mean = memory.metric_values("fusion.mean_residual_deg");
+    assert_eq!(mean.len(), 1);
+
+    // First-tap SNR: emitted per ear per stop, positive for a 45 dB setup.
+    let snrs = memory.metric_values("channel.first_tap_snr_db");
+    assert!(!snrs.is_empty());
+    assert!(snrs.iter().all(|s| *s > 0.0), "snrs: {snrs:?}");
+
+    // The estimated radius metric matches the returned result.
+    let radius = memory.metric_values("personalize.radius_m");
+    assert_eq!(radius.last().copied(), Some(result.radius_m));
+
+    // Attempts metric matches the retry count the caller sees.
+    let attempts = memory.metric_values("personalize.attempts");
+    assert_eq!(attempts.last().copied(), Some(result.attempts as f64));
+
+    // Interpolation-quality diagnostics are emitted when a sink is active.
+    assert!(!memory
+        .metric_values("nearfield.interp_tap_dev_mean")
+        .is_empty());
+}
+
+fn assert_results_identical(a: &PersonalizationResult, b: &PersonalizationResult) {
+    assert_eq!(a.radius_m, b.radius_m);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.localization, b.localization);
+    assert_eq!(a.fusion.head.a, b.fusion.head.a);
+    for (x, y) in a.hrtf.far().irs().iter().zip(b.hrtf.far().irs()) {
+        assert_eq!(x.left, y.left);
+        assert_eq!(x.right, y.right);
+    }
+    for (x, y) in a.hrtf.near().irs().iter().zip(b.hrtf.near().irs()) {
+        assert_eq!(x.left, y.left);
+        assert_eq!(x.right, y.right);
+    }
+}
+
+#[test]
+fn instrumentation_never_changes_the_output() {
+    // Observability must observe: identical results with no sink, the
+    // no-op sink and the recording sink, bit for bit.
+    let cfg = obs_cfg();
+    let subject = Subject::from_seed(72);
+
+    let bare = personalize(&subject, &cfg, 44).expect("bare run succeeds");
+    let noop = uniq_obs::with_sink(Arc::new(NoopSink), || {
+        personalize(&subject, &cfg, 44).expect("noop run succeeds")
+    });
+    let recorded = uniq_obs::with_sink(Arc::new(MemorySink::new()), || {
+        personalize(&subject, &cfg, 44).expect("recorded run succeeds")
+    });
+
+    assert_results_identical(&bare, &noop);
+    assert_results_identical(&bare, &recorded);
+}

@@ -45,8 +45,7 @@ fn exported_table_round_trips_and_keeps_working() {
 
     // And AoA with the restored table gives the same answer.
     let renderer = subject.renderer(cfg.render, uniq_subjects::FORWARD_RESOLUTION);
-    let setup =
-        uniq_acoustics::measure::MeasurementSetup::anechoic(cfg.render.sample_rate, 40.0);
+    let setup = uniq_acoustics::measure::MeasurementSetup::anechoic(cfg.render.sample_rate, 40.0);
     let rec = uniq_acoustics::measure::record_plane_wave(&renderer, &setup, 60.0, &sig, 9);
     let est_a = uniq_core::aoa::estimate_known_source(&rec, &sig, original.far(), &cfg);
     let est_b = uniq_core::aoa::estimate_known_source(&rec, &sig, restored.far(), &cfg);

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset this workspace's property suites use:
+//! the [`proptest!`] macro with `#![proptest_config(...)]`, numeric range
+//! strategies, `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros. Inputs are sampled from a
+//! deterministic generator seeded by the test name, so failures reproduce
+//! run-to-run. There is no shrinking: the failing inputs are reported
+//! as sampled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy combinators namespace (subset of `proptest::prelude::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The common import surface.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: a block of `#[test] fn name(arg in strategy, ...)`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$attr:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                while runner.more_cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, runner.rng());)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    runner.record(outcome);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// process) so the runner can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // `if cond {} else { fail }` rather than `if !cond` so float
+        // comparisons in `$cond` don't trip `neg_cmp_op_on_partial_ord`
+        // at every expansion site.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (counted separately from successes) when its
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(x in -3.0..3.0f64, n in 1usize..9) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_length(v in prop::collection::vec(-1.0..1.0f64, 2..12)) {
+            prop_assert!((2..12).contains(&v.len()));
+            for x in &v {
+                prop_assert!((-1.0..1.0).contains(x), "element out of range: {x}");
+            }
+        }
+
+        #[test]
+        fn assume_discards(k in 0usize..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "proptest case failed")]
+        fn failures_panic_with_context(x in 0.0..1.0f64) {
+            prop_assert!(x < 0.0, "x was {x}");
+        }
+    }
+}

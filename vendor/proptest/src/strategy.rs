@@ -1,0 +1,71 @@
+//! Input-generation strategies (subset of `proptest::strategy`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, usize, isize, u64, i64, u32, i32);
+
+/// Lengths accepted by [`vec`]: a fixed `usize` or a half-open range.
+pub trait IntoLenRange {
+    /// The concrete `[lo, hi)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoLenRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// A strategy for `Vec<T>` with element strategy `S` and a length range.
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.lo..self.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len)` — vectors of `element` samples
+/// with `len` either a fixed size or a `lo..hi` range.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    let (lo, hi) = len.bounds();
+    assert!(lo < hi, "empty vec length range");
+    VecStrategy { element, lo, hi }
+}

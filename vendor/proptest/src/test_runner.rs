@@ -1,0 +1,108 @@
+//! Case execution and reporting (subset of `proptest::test_runner`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default is 256; the numeric suites here are heavier
+        // per case, so every caller overrides this anyway.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition unmet — the case is discarded.
+    Reject,
+    /// `prop_assert!` failure — the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Drives the sample → run → record loop for one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+    successes: u32,
+    rejects: u32,
+}
+
+/// Hard cap on consecutive `prop_assume!` discards before the test is
+/// considered vacuous and failed (mirrors upstream's behaviour).
+const MAX_REJECTS: u32 = 65_536;
+
+impl TestRunner {
+    /// Builds a runner whose input stream is seeded from the test name, so
+    /// every run of the same test sees the same cases.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the name: stable, collision-irrelevant here.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(h),
+            successes: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Whether more cases must run for the test to pass.
+    pub fn more_cases(&self) -> bool {
+        self.successes < self.config.cases
+    }
+
+    /// The input-sampling generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Records one case outcome.
+    ///
+    /// # Panics
+    /// Panics on an assertion failure (failing the `#[test]`), or when the
+    /// discard cap is exhausted.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.successes += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects < MAX_REJECTS,
+                    "prop_assume! rejected {} cases — the property is vacuous",
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed after {} passing case(s): {msg}",
+                    self.successes
+                );
+            }
+        }
+    }
+}
