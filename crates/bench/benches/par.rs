@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the uniq-par pool: scheduling overhead
+//! of `par_map` against a plain sequential map, across pool sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn workload(x: &f64) -> f64 {
+    let mut acc = *x;
+    for _ in 0..64 {
+        acc = acc.sin().mul_add(1.0001, 0.0001);
+    }
+    acc
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    let items: Vec<f64> = (0..4096).map(|k| k as f64 * 0.001).collect();
+    let mut group = c.benchmark_group("par_map_4096");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            std::hint::black_box(&items)
+                .iter()
+                .map(workload)
+                .collect::<Vec<f64>>()
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let pool = uniq_par::pool(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &items, |b, items| {
+            b.iter(|| pool.par_map(std::hint::black_box(items), workload))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scope_spawn(c: &mut Criterion) {
+    let pool = uniq_par::pool(4);
+    c.bench_function("scope_64_spawns", |b| {
+        b.iter(|| {
+            pool.scope(|scope| {
+                for _ in 0..64 {
+                    scope.spawn(|| {
+                        std::hint::black_box(3.0f64.sqrt());
+                    });
+                }
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_par_map, bench_scope_spawn);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ fn main() {
             "fig22",
             "ablations",
             "extensions",
+            "batch",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -58,6 +59,9 @@ fn main() {
             }
             "fig22" => {
                 timings.time("fig22", fig22::run);
+            }
+            "batch" => {
+                timings.time("batch", batch_scaling::run);
             }
             "extensions" => {
                 timings.time("extensions", || {

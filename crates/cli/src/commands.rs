@@ -44,6 +44,7 @@ pub fn run(args: &Args) -> Result<String, String> {
 fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
         "personalize" => personalize_cmd(args),
+        "batch" => batch_cmd(args),
         "info" => info_cmd(args),
         "render" => render_cmd(args),
         "aoa" => aoa_cmd(args),
@@ -59,6 +60,11 @@ pub fn usage() -> String {
      commands:\n\
      \x20 personalize --seed N --out FILE [--anechoic] [--grid DEG] [--snr DB]\n\
      \x20     run the full pipeline for synthetic subject N, save the table\n\
+     \x20 batch --subjects N [--seed BASE] [--threads T] [--anechoic] [--grid DEG]\n\
+     \x20       [--snr DB] [--scaling T1,T2,..] [--out FILE]\n\
+     \x20     personalize N synthetic subjects concurrently (T=0 or unset: auto\n\
+     \x20     from UNIQ_THREADS / available parallelism); --scaling re-runs the\n\
+     \x20     batch at each pool size and writes a throughput report JSON\n\
      \x20 info --table FILE\n\
      \x20     summarize a saved .uniqhrtf table\n\
      \x20 render --table FILE --theta DEG --signal noise|music|speech --out FILE.wav\n\
@@ -121,6 +127,129 @@ fn personalize_cmd(args: &Args) -> Result<String, String> {
         result.hrtf.near().len(),
         result.hrtf.far().len(),
     ))
+}
+
+/// Renders a [`ScalingReport`] as a JSON document (fingerprints in hex so
+/// consumers never lose bits to double precision).
+fn scaling_json(report: &uniq_core::batch::ScalingReport, seed_base: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"subjects\": {},\n", report.subjects));
+    out.push_str(&format!("  \"seed_base\": {seed_base},\n"));
+    out.push_str(&format!("  \"deterministic\": {},\n", report.deterministic));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"subjects_per_second\": {:.6}, \"fingerprint\": \"{:#018x}\"}}{}\n",
+            p.threads,
+            p.seconds,
+            p.subjects_per_second,
+            p.fingerprint,
+            if i + 1 < report.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn batch_cmd(args: &Args) -> Result<String, String> {
+    let subjects = args.get_u64("subjects", 4).map_err(|e| e.to_string())?;
+    if subjects == 0 {
+        return Err("batch needs at least one subject".into());
+    }
+    let base = args.get_u64("seed", 42).map_err(|e| e.to_string())?;
+    let threads = args.get_u64("threads", 0).map_err(|e| e.to_string())? as usize;
+    let grid = args.get_f64("grid", 15.0).map_err(|e| e.to_string())?;
+    let snr = args.get_f64("snr", 40.0).map_err(|e| e.to_string())?;
+    // Subject-level parallelism only: each worker personalizes whole
+    // subjects, so the per-subject pipeline runs sequentially (threads: 1)
+    // to avoid oversubscribing the pool.
+    let cfg = UniqConfig {
+        in_room: !args.switch("anechoic"),
+        grid_step_deg: grid,
+        snr_db: snr,
+        threads: 1,
+        ..UniqConfig::default()
+    };
+    let seeds: Vec<u64> = (0..subjects).map(|i| base.wrapping_add(i)).collect();
+
+    if let Some(list) = args.get("scaling") {
+        let counts: Vec<usize> = list
+            .split(',')
+            .map(|t| t.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad --scaling list {list:?} (want e.g. 1,2,4,8)"))?;
+        if counts.is_empty() {
+            return Err("--scaling list is empty".into());
+        }
+        let report = uniq_core::batch::scaling_sweep(&seeds, &cfg, &counts, 3);
+        let out = args
+            .get("out")
+            .unwrap_or("bench_results/batch_scaling.json");
+        let path = Path::new(out);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, scaling_json(&report, base))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        let mut lines = vec![format!(
+            "batch scaling: {} subjects (seeds {base}..{})",
+            report.subjects,
+            base.wrapping_add(subjects - 1),
+        )];
+        let baseline = report.points[0].seconds;
+        for p in &report.points {
+            lines.push(format!(
+                "  threads {:>2}: {:>7.2}s  {:.2} subj/s  speedup {:.2}x",
+                p.threads,
+                p.seconds,
+                p.subjects_per_second,
+                baseline / p.seconds.max(1e-12),
+            ));
+        }
+        lines.push(format!(
+            "outputs bit-identical across pool sizes: {}",
+            if report.deterministic {
+                "yes"
+            } else {
+                "NO — determinism contract violated"
+            }
+        ));
+        lines.push(format!("report written to {out}"));
+        return Ok(lines.join("\n"));
+    }
+
+    let pool_size = uniq_par::pool(threads).threads();
+    let start = std::time::Instant::now();
+    let outcomes = uniq_core::batch::personalize_batch(&seeds, &cfg, threads, 3);
+    let total = start.elapsed().as_secs_f64();
+
+    let mut lines = vec![format!(
+        "batch: {subjects} subject(s) on {pool_size} thread(s)"
+    )];
+    let mut failed = 0usize;
+    for o in &outcomes {
+        match &o.result {
+            Ok(r) => lines.push(format!(
+                "  subject {:>4}: ok   {:.2}s  {} attempt(s), radius {:.2} m",
+                o.seed, o.seconds, r.attempts, r.radius_m
+            )),
+            Err(e) => {
+                failed += 1;
+                lines.push(format!(
+                    "  subject {:>4}: FAIL {:.2}s  {e}",
+                    o.seed, o.seconds
+                ));
+            }
+        }
+    }
+    lines.push(format!(
+        "{}/{} succeeded in {total:.2}s ({:.2} subjects/s)",
+        outcomes.len() - failed,
+        outcomes.len(),
+        outcomes.len() as f64 / total.max(1e-12),
+    ));
+    Ok(lines.join("\n"))
 }
 
 fn load_table(args: &Args) -> Result<uniq_core::hrtf::PersonalHrtf, String> {
@@ -269,6 +398,36 @@ mod tests {
 
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&wav).ok();
+    }
+
+    #[test]
+    fn batch_reports_every_subject() {
+        let out = run(&argv(
+            "batch --subjects 2 --threads 2 --anechoic --grid 15 --snr 45",
+        ))
+        .expect("batch");
+        assert!(out.contains("subject   42"), "missing subject line: {out}");
+        assert!(out.contains("subject   43"), "missing subject line: {out}");
+        assert!(out.contains("2/2 succeeded"), "missing summary: {out}");
+    }
+
+    #[test]
+    fn batch_scaling_writes_deterministic_report() {
+        let json = temp_path("scaling.json");
+        let out = run(&argv(&format!(
+            "batch --subjects 2 --scaling 1,2 --anechoic --grid 15 --snr 45 --out {}",
+            json.display()
+        )))
+        .expect("batch --scaling");
+        assert!(
+            out.contains("bit-identical across pool sizes: yes"),
+            "determinism line missing: {out}"
+        );
+        let content = std::fs::read_to_string(&json).unwrap();
+        assert!(content.contains("\"deterministic\": true"));
+        assert!(content.contains("\"threads\": 1"));
+        assert!(content.contains("\"threads\": 2"));
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::config::UniqConfig;
 use uniq_acoustics::measure::BinauralRecording;
 use uniq_acoustics::types::HrirBank;
 use uniq_dsp::complex::Complex;
-use uniq_dsp::deconv::wiener_deconvolve;
+use uniq_dsp::deconv::wiener_deconvolve_batch;
 use uniq_dsp::fft::{fft_in_place, next_pow2};
 use uniq_dsp::peaks::{find_peaks, first_tap};
 use uniq_dsp::xcorr::{peak_normalized_xcorr, xcorr};
@@ -70,19 +70,18 @@ pub fn estimate_known_source(
     cfg: &UniqConfig,
 ) -> f64 {
     let _span = uniq_obs::span("aoa.known");
-    // Ear channels by deconvolution with the known source.
-    let ch_left = wiener_deconvolve(
-        &recording.left,
+    // Ear channels by deconvolution with the known source (batched across
+    // the pool; same arithmetic as two sequential calls).
+    let pool = uniq_par::pool(cfg.threads);
+    let mut chans = wiener_deconvolve_batch(
+        &[recording.left.as_slice(), recording.right.as_slice()],
         source,
         cfg.deconv_noise_floor,
         cfg.channel_len,
+        &pool,
     );
-    let ch_right = wiener_deconvolve(
-        &recording.right,
-        source,
-        cfg.deconv_noise_floor,
-        cfg.channel_len,
-    );
+    let ch_right = chans.pop().expect("batch of two");
+    let ch_left = chans.pop().expect("batch of two");
 
     let t0 = match (
         first_tap(&ch_left, cfg.tap_threshold),
@@ -93,16 +92,25 @@ pub fn estimate_known_source(
     };
 
     let templates = AoaTemplates::from_bank(bank, cfg);
-    let mut best = (f64::INFINITY, 0.0);
-    for ((&theta, &t_theta), ir) in templates
+    // Per-template costs are independent: compute them across the pool,
+    // then take the argmin with the same sequential strict-< fold the
+    // serial sweep used (first minimum wins), so the estimate is
+    // bit-identical at any thread count.
+    let entries: Vec<(f64, f64, &uniq_acoustics::types::BinauralIr)> = templates
         .angles
         .iter()
         .zip(&templates.t_rel)
         .zip(bank.irs())
-    {
+        .map(|((&theta, &t_theta), ir)| (theta, t_theta, ir))
+        .collect();
+    let costs = pool.par_map(&entries, |&(theta, t_theta, ir)| {
         let c_l = peak_normalized_xcorr(&ch_left, &ir.left);
         let c_r = peak_normalized_xcorr(&ch_right, &ir.right);
         let cost = cfg.aoa_lambda * (t0 - t_theta).abs() + (1.0 - c_l) + (1.0 - c_r);
+        (cost, theta)
+    });
+    let mut best = (f64::INFINITY, 0.0);
+    for &(cost, theta) in &costs {
         if cost < best.0 {
             best = (cost, theta);
         }
@@ -164,8 +172,11 @@ pub fn estimate_unknown_source(
     let fl = spectrum_of(left, n);
     let fr = spectrum_of(right, n);
 
-    let mut best = (f64::INFINITY, candidates[0]);
-    for &theta in &candidates {
+    // Candidate costs are independent: compute across the pool, argmin
+    // with the sequential strict-< fold (first minimum wins) for
+    // bit-identical estimates at any thread count.
+    let pool = uniq_par::pool(cfg.threads);
+    let costs = pool.par_map(&candidates, |&theta| {
         let (ir, _) = bank.nearest(theta);
         let hl = spectrum_of(&ir.left, n);
         let hr = spectrum_of(&ir.right, n);
@@ -177,7 +188,10 @@ pub fn estimate_unknown_source(
             num += (lhs - rhs).norm_sqr();
             den += lhs.norm_sqr() + rhs.norm_sqr();
         }
-        let cost = num / den.max(1e-30);
+        (num / den.max(1e-30), theta)
+    });
+    let mut best = (f64::INFINITY, candidates[0]);
+    for &(cost, theta) in &costs {
         if cost < best.0 {
             best = (cost, theta);
         }

@@ -1,0 +1,207 @@
+//! Batch personalization: many subjects concurrently.
+//!
+//! Fans independent subjects across the `uniq-par` pool. Each subject's
+//! pipeline is pure given its seed, and outcomes are reduced in seed
+//! order, so a batch at any thread count produces bit-identical HRTFs —
+//! [`hrtf_fingerprint`] condenses that contract into one comparable
+//! number, and [`scaling_sweep`] checks it while measuring throughput.
+
+use crate::config::UniqConfig;
+use crate::pipeline::{personalize_with_retry, PersonalizationError, PersonalizationResult};
+use std::time::Instant;
+use uniq_subjects::Subject;
+
+/// The outcome of one subject's personalization inside a batch, tagged
+/// with the subject's identity (its seed) so failures point at the exact
+/// subject — never a generic join error.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Seed identifying the synthetic subject (drives anatomy, gesture,
+    /// and noise).
+    pub seed: u64,
+    /// The personalization result or the per-subject error (which itself
+    /// carries stop identity for session failures).
+    pub result: Result<PersonalizationResult, PersonalizationError>,
+    /// Wall-clock time this subject took, seconds.
+    pub seconds: f64,
+}
+
+/// Personalizes one subject per seed, fanning subjects across a pool of
+/// `threads` workers (`0` = auto). Outcomes come back in seed order.
+///
+/// Within the batch each subject runs with `cfg.threads` for its own
+/// inner parallelism; pass a config with `threads: 1` (as the CLI does)
+/// to give every worker exactly one subject and avoid oversubscription.
+pub fn personalize_batch(
+    seeds: &[u64],
+    cfg: &UniqConfig,
+    threads: usize,
+    max_attempts: usize,
+) -> Vec<BatchOutcome> {
+    let _span = uniq_obs::span("batch");
+    let pool = uniq_par::pool(threads);
+    let ctx = uniq_obs::capture();
+    let outcomes = pool.par_map_chunked(seeds, 1, |&seed| {
+        ctx.run(|| {
+            let start = Instant::now();
+            let subject = Subject::from_seed(seed);
+            let result = personalize_with_retry(&subject, cfg, seed, max_attempts);
+            let seconds = start.elapsed().as_secs_f64();
+            uniq_obs::metric("batch.subject_seconds", seconds, "s");
+            if result.is_err() {
+                uniq_obs::counter("batch.failures", 1);
+            }
+            BatchOutcome {
+                seed,
+                result,
+                seconds,
+            }
+        })
+    });
+    uniq_obs::counter("batch.subjects", outcomes.len() as u64);
+    outcomes
+}
+
+/// FNV-1a fingerprint of every successful outcome's numeric output (far
+/// and near HRIR bits, radius, localization estimates), folded in seed
+/// order. Two batches over the same seeds agree on this number if and
+/// only if they produced bit-identical HRTFs — the determinism contract
+/// a thread-count change must preserve.
+pub fn hrtf_fingerprint(outcomes: &[BatchOutcome]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    for outcome in outcomes {
+        eat(outcome.seed);
+        let Ok(result) = &outcome.result else {
+            eat(u64::MAX);
+            continue;
+        };
+        eat(result.radius_m.to_bits());
+        eat(result.attempts as u64);
+        for (truth, est) in &result.localization {
+            eat(truth.to_bits());
+            eat(est.to_bits());
+        }
+        for bank in [result.hrtf.near(), result.hrtf.far()] {
+            for ir in bank.irs() {
+                for &v in ir.left.iter().chain(&ir.right) {
+                    eat(v.to_bits());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Throughput at one pool size, from [`scaling_sweep`].
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Pool size measured.
+    pub threads: usize,
+    /// Wall-clock time for the whole batch, seconds.
+    pub seconds: f64,
+    /// Subjects personalized per second.
+    pub subjects_per_second: f64,
+    /// [`hrtf_fingerprint`] of the outcomes at this pool size.
+    pub fingerprint: u64,
+}
+
+/// A thread-scaling measurement: the same batch re-run at several pool
+/// sizes.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Number of subjects per run.
+    pub subjects: usize,
+    /// One entry per measured pool size, in the order given.
+    pub points: Vec<ScalingPoint>,
+    /// Whether every pool size produced the same [`hrtf_fingerprint`]
+    /// (the bit-identity contract).
+    pub deterministic: bool,
+}
+
+/// Runs the same batch at each pool size in `thread_counts`, recording
+/// wall-clock throughput and the per-run output fingerprint.
+pub fn scaling_sweep(
+    seeds: &[u64],
+    cfg: &UniqConfig,
+    thread_counts: &[usize],
+    max_attempts: usize,
+) -> ScalingReport {
+    let mut points = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let start = Instant::now();
+        let outcomes = personalize_batch(seeds, cfg, threads, max_attempts);
+        let seconds = start.elapsed().as_secs_f64();
+        points.push(ScalingPoint {
+            threads,
+            seconds,
+            subjects_per_second: seeds.len() as f64 / seconds.max(1e-12),
+            fingerprint: hrtf_fingerprint(&outcomes),
+        });
+    }
+    let deterministic = points
+        .windows(2)
+        .all(|w| w[0].fingerprint == w[1].fingerprint);
+    ScalingReport {
+        subjects: seeds.len(),
+        points,
+        deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> UniqConfig {
+        UniqConfig {
+            in_room: false,
+            snr_db: 45.0,
+            grid_step_deg: 15.0,
+            threads: 1,
+            ..UniqConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn batch_outcomes_are_seed_ordered_and_tagged() {
+        let seeds = [70, 71, 72];
+        let out = personalize_batch(&seeds, &cfg(), 2, 2);
+        assert_eq!(out.len(), 3);
+        for (outcome, &seed) in out.iter().zip(&seeds) {
+            assert_eq!(outcome.seed, seed);
+            assert!(outcome.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_thread_counts() {
+        let seeds = [70, 71];
+        let c = cfg();
+        let a = hrtf_fingerprint(&personalize_batch(&seeds, &c, 1, 2));
+        let b = hrtf_fingerprint(&personalize_batch(&seeds, &c, 4, 2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_batches() {
+        let c = cfg();
+        let a = hrtf_fingerprint(&personalize_batch(&[70], &c, 1, 2));
+        let b = hrtf_fingerprint(&personalize_batch(&[71], &c, 1, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scaling_sweep_reports_determinism() {
+        let report = scaling_sweep(&[70, 71], &cfg(), &[1, 2], 2);
+        assert_eq!(report.subjects, 2);
+        assert_eq!(report.points.len(), 2);
+        assert!(report.deterministic);
+    }
+}

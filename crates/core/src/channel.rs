@@ -10,7 +10,7 @@
 use crate::config::UniqConfig;
 use uniq_acoustics::measure::BinauralRecording;
 use uniq_acoustics::types::BinauralIr;
-use uniq_dsp::deconv::wiener_deconvolve;
+use uniq_dsp::deconv::wiener_deconvolve_batch;
 use uniq_dsp::peaks::{first_tap, truncate_after};
 
 /// An estimated, cleaned binaural channel.
@@ -94,18 +94,19 @@ pub fn estimate_channel(
     cfg: &UniqConfig,
 ) -> Result<EstimatedChannel, ChannelError> {
     let _span = uniq_obs::span("channel.estimate");
-    let raw_left = wiener_deconvolve(
-        &recording.left,
+    // The two ears deconvolve independently; batch them through the pool
+    // (same arithmetic as two sequential `wiener_deconvolve` calls, so the
+    // result is bit-identical at any thread count).
+    let pool = uniq_par::pool(cfg.threads);
+    let mut raw = wiener_deconvolve_batch(
+        &[recording.left.as_slice(), recording.right.as_slice()],
         probe,
         cfg.deconv_noise_floor,
         cfg.channel_len,
+        &pool,
     );
-    let raw_right = wiener_deconvolve(
-        &recording.right,
-        probe,
-        cfg.deconv_noise_floor,
-        cfg.channel_len,
-    );
+    let raw_right = raw.pop().expect("batch of two");
+    let raw_left = raw.pop().expect("batch of two");
 
     let comp_left =
         uniq_acoustics::system::compensate_response(&raw_left, system_ir, cfg.deconv_noise_floor);

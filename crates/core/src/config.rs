@@ -43,6 +43,12 @@ pub struct UniqConfig {
     pub aoa_lambda: f64,
     /// Gyroscope error model used when simulating the measurement session.
     pub gyro: GyroModel,
+    /// Worker threads for the parallel hot paths (per-stop channel
+    /// estimation, AoA sweeps, output-grid interpolation). `0` means
+    /// "auto": the `UNIQ_THREADS` environment variable if set, otherwise
+    /// the machine's available parallelism. Results are bit-identical
+    /// for every value — this only changes scheduling.
+    pub threads: usize,
 }
 
 impl Default for UniqConfig {
@@ -65,6 +71,7 @@ impl Default for UniqConfig {
             max_fusion_residual_deg: 12.0,
             aoa_lambda: 0.15,
             gyro: GyroModel::consumer_phone(),
+            threads: 0,
         }
     }
 }

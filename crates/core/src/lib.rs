@@ -43,6 +43,9 @@
 //!   consume.
 //! * [`aoa`] — HRTF-aware binaural angle-of-arrival estimation (§4.5),
 //!   known- and unknown-source variants.
+//! * [`batch`] — concurrent multi-subject personalization on the
+//!   `uniq-par` pool, with a determinism fingerprint and thread-scaling
+//!   sweeps.
 //! * [`beamform`] — HRTF-matched binaural beamforming (the §4.5 hearing-
 //!   aid scenario).
 //! * [`pipeline`] — end-to-end orchestration with gesture auto-correction
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod aoa;
+pub mod batch;
 pub mod beamform;
 pub mod channel;
 pub mod config;

@@ -34,17 +34,18 @@ pub fn convert(near: &HrirBank, fusion: &FusionResult, cfg: &UniqConfig, radius:
     let grid = cfg.output_grid();
     let sr = cfg.render.sample_rate;
 
-    let pairs: Vec<(f64, BinauralIr)> = grid
-        .iter()
-        .map(|&theta| {
-            let ca = critical_angles(&boundary, theta, radius);
-            let left = arc_average(near, |phi| ca.feeds_left(phi), ca.theta_c, Ear::Left, cfg);
-            let right = arc_average(near, |phi| ca.feeds_right(phi), ca.theta_c, Ear::Right, cfg);
-            let ir = BinauralIr::new(left, right);
-            let ir = tune_to_plane_model(ir, &boundary, theta, radius, cfg);
-            (theta, ir)
-        })
-        .collect();
+    // Grid angles are independent; fan them across the pool (bit-identical
+    // to the sequential map — same per-angle arithmetic, grid-order
+    // reduction).
+    let pool = uniq_par::pool(cfg.threads);
+    let pairs: Vec<(f64, BinauralIr)> = pool.par_map(&grid, |&theta| {
+        let ca = critical_angles(&boundary, theta, radius);
+        let left = arc_average(near, |phi| ca.feeds_left(phi), ca.theta_c, Ear::Left, cfg);
+        let right = arc_average(near, |phi| ca.feeds_right(phi), ca.theta_c, Ear::Right, cfg);
+        let ir = BinauralIr::new(left, right);
+        let ir = tune_to_plane_model(ir, &boundary, theta, radius, cfg);
+        (theta, ir)
+    });
     HrirBank::new(pairs, sr)
 }
 

@@ -77,15 +77,16 @@ pub fn interpolate(
     let grid = cfg.output_grid();
     let sr = cfg.render.sample_rate;
 
-    let pairs: Vec<(f64, BinauralIr)> = grid
-        .iter()
-        .map(|&theta| {
-            let (i0, i1, t) = bracket_angle(angles, theta);
-            let ir = blend_aligned(&discrete.irs()[i0], &discrete.irs()[i1], t, cfg);
-            let ir = model_correct(ir, &boundary, theta, radius, cfg);
-            (theta, ir)
-        })
-        .collect();
+    // Grid angles are independent; fan them across the pool. Per-angle
+    // arithmetic is unchanged and outputs are reduced in grid order, so
+    // the bank is bit-identical at any thread count.
+    let pool = uniq_par::pool(cfg.threads);
+    let pairs: Vec<(f64, BinauralIr)> = pool.par_map(&grid, |&theta| {
+        let (i0, i1, t) = bracket_angle(angles, theta);
+        let ir = blend_aligned(&discrete.irs()[i0], &discrete.irs()[i1], t, cfg);
+        let ir = model_correct(ir, &boundary, theta, radius, cfg);
+        (theta, ir)
+    });
     HrirBank::new(pairs, sr)
 }
 

@@ -7,12 +7,11 @@
 //! and `personalize_with_retry` re-runs them (the paper: "this triggers a
 //! message to the user to redo the measurement exercise").
 
-use crate::channel::ChannelError;
 use crate::config::{ConfigError, UniqConfig};
 use crate::fusion::{fuse, session_to_inputs, FusionResult};
 use crate::hrtf::PersonalHrtf;
 use crate::nearfield::{assemble_discrete, interpolate, mean_radius};
-use crate::session::run_session;
+use crate::session::{run_session, SessionError};
 use uniq_subjects::Subject;
 
 /// Why a personalization attempt failed.
@@ -20,8 +19,9 @@ use uniq_subjects::Subject;
 pub enum PersonalizationError {
     /// The configuration is inconsistent (see [`ConfigError`]).
     InvalidConfig(ConfigError),
-    /// Channel estimation failed (no detectable taps).
-    Channel(ChannelError),
+    /// The measurement session failed (carries the failing stop's
+    /// identity — see [`SessionError`]).
+    Session(SessionError),
     /// Sensor fusion could not localize a majority of stops.
     FusionFailed,
     /// §4.6 gesture auto-correction fired: the user should redo the
@@ -38,7 +38,7 @@ impl std::fmt::Display for PersonalizationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersonalizationError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
-            PersonalizationError::Channel(e) => write!(f, "channel estimation failed: {e}"),
+            PersonalizationError::Session(e) => write!(f, "measurement session failed: {e}"),
             PersonalizationError::FusionFailed => write!(f, "sensor fusion failed"),
             PersonalizationError::GestureRejected {
                 radius_m,
@@ -78,7 +78,7 @@ pub fn personalize(
     cfg.validate()
         .map_err(PersonalizationError::InvalidConfig)?;
     let _span = uniq_obs::span("personalize");
-    let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Channel)?;
+    let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Session)?;
     let inputs = session_to_inputs(&session, cfg);
     let fusion = fuse(&inputs, cfg).ok_or(PersonalizationError::FusionFailed)?;
 

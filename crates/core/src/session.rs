@@ -41,18 +41,56 @@ pub struct SessionData {
     pub system_ir: Vec<f64>,
 }
 
+/// A measurement session failure, carrying the identity of the stop that
+/// failed so batch callers can report *which* measurement went wrong
+/// rather than a generic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Channel estimation failed at one measurement stop.
+    Stop {
+        /// Zero-based index of the failing stop along the sweep.
+        stop: usize,
+        /// The underlying channel-estimation failure.
+        error: ChannelError,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Stop { stop, error } => {
+                write!(f, "measurement stop {stop}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Stop { error, .. } => Some(error),
+        }
+    }
+}
+
 /// Runs a measurement session for `subject` with the given config and
 /// seed. The seed controls gesture imperfections, IMU noise and microphone
 /// noise (all deterministic given the seed).
 ///
+/// The per-stop channel estimates are independent and run on the
+/// `cfg.threads` pool. Results are bit-identical to the sequential loop
+/// for every thread count: each stop's computation is pure given the seed,
+/// and outputs are reduced in stop order.
+///
 /// # Errors
-/// Returns [`ChannelError`] if any stop's channel has no detectable taps
-/// (e.g. hopeless SNR).
+/// Returns [`SessionError::Stop`] if any stop's channel has no detectable
+/// taps (e.g. hopeless SNR). When several stops fail, the lowest-index
+/// stop is reported — the same one a sequential scan would hit first.
 pub fn run_session(
     subject: &Subject,
     cfg: &UniqConfig,
     seed: u64,
-) -> Result<SessionData, ChannelError> {
+) -> Result<SessionData, SessionError> {
     cfg.validate().expect("invalid UniqConfig");
     let _span = uniq_obs::span("session");
     let renderer = subject.renderer(cfg.render, FORWARD_RESOLUTION);
@@ -77,25 +115,36 @@ pub fn run_session(
     // (same index formula as `measurement_stops`).
     let stops = measurement_stops(&traj, cfg.stops);
 
-    let mut out = Vec::with_capacity(stops.len());
-    for (i, stop) in stops.iter().enumerate() {
-        let idx = i * (traj.len() - 1) / (cfg.stops - 1);
-        let rec = record_point_source(
-            &renderer,
-            &setup,
-            stop.pos,
-            &probe,
-            seed.wrapping_add(100 + i as u64),
-        )
-        .expect("gesture trajectory stays outside the head");
-        let channel = estimate_channel(&rec, &probe, &system_ir, cfg)?;
-        out.push(StopMeasurement {
-            alpha_deg: alphas[idx],
-            channel,
-            truth_theta_deg: stop.theta_deg,
-            truth_radius_m: stop.radius_m,
-        });
-    }
+    // Each stop is an independent record → deconvolve → gate computation,
+    // so the sweep fans out across the pool. `try_par_map` evaluates every
+    // stop and reports the lowest-index failure, and `ctx.run` re-installs
+    // the caller's observability sink/depth on the workers so spans and
+    // metrics land exactly as the sequential loop emitted them.
+    let indexed: Vec<usize> = (0..stops.len()).collect();
+    let pool = uniq_par::pool(cfg.threads);
+    let ctx = uniq_obs::capture();
+    let out = pool.try_par_map(&indexed, |&i| {
+        ctx.run(|| {
+            let stop = &stops[i];
+            let idx = i * (traj.len() - 1) / (cfg.stops - 1);
+            let rec = record_point_source(
+                &renderer,
+                &setup,
+                stop.pos,
+                &probe,
+                seed.wrapping_add(100 + i as u64),
+            )
+            .expect("gesture trajectory stays outside the head");
+            let channel = estimate_channel(&rec, &probe, &system_ir, cfg)
+                .map_err(|error| SessionError::Stop { stop: i, error })?;
+            Ok(StopMeasurement {
+                alpha_deg: alphas[idx],
+                channel,
+                truth_theta_deg: stop.theta_deg,
+                truth_radius_m: stop.radius_m,
+            })
+        })
+    })?;
 
     uniq_obs::metric("session.stops", out.len() as f64, "");
     Ok(SessionData {

@@ -72,6 +72,15 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
     }
 }
 
+/// Full linear convolution of every `(a, b)` pair, scheduled across `pool`.
+///
+/// Each pair runs the exact same code path as [`convolve`] (including its
+/// direct-vs-FFT selector), so results are bit-identical to a sequential
+/// `pairs.iter().map(|(a, b)| convolve(a, b))` regardless of the pool size.
+pub fn convolve_batch(pairs: &[(&[f64], &[f64])], pool: &uniq_par::ThreadPool) -> Vec<Vec<f64>> {
+    pool.par_map_chunked(pairs, 1, |&(a, b)| convolve(a, b))
+}
+
 /// "Same"-mode convolution: output has the length of `a`, centred on the
 /// kernel `b` (matching NumPy's `mode="same"`).
 pub fn convolve_same(a: &[f64], b: &[f64]) -> Vec<f64> {

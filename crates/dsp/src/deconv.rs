@@ -75,6 +75,29 @@ pub fn wiener_deconvolve(
     fy.into_iter().map(|z| z.re).collect()
 }
 
+/// Wiener-deconvolves every recording in `recordings` against the same
+/// probe, scheduled across `pool`. The per-ear channel estimates of one
+/// measurement stop are the canonical use.
+///
+/// Each recording runs the exact same code path as [`wiener_deconvolve`],
+/// so results are bit-identical to the sequential loop regardless of the
+/// pool size — only the scheduling differs.
+///
+/// # Panics
+/// Panics as [`wiener_deconvolve`] does (empty/silent probe, zero
+/// `out_len`).
+pub fn wiener_deconvolve_batch(
+    recordings: &[&[f64]],
+    probe: &[f64],
+    noise_floor: f64,
+    out_len: usize,
+    pool: &uniq_par::ThreadPool,
+) -> Vec<Vec<f64>> {
+    pool.par_map_chunked(recordings, 1, |rx| {
+        wiener_deconvolve(rx, probe, noise_floor, out_len)
+    })
+}
+
 /// Matched-filter channel estimate: normalized cross-correlation of the
 /// recording with the probe.
 ///

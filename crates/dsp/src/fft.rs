@@ -65,6 +65,18 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     buf
 }
 
+/// Forward FFT of every signal in `batch`, scheduled across `pool`.
+///
+/// Each transform runs the exact same code path as [`fft`], so results are
+/// bit-identical to a sequential `batch.iter().map(|s| fft(s))` regardless
+/// of the pool size — only the scheduling differs.
+///
+/// # Panics
+/// Panics if any signal's length is not a power of two (as [`fft`] would).
+pub fn fft_batch(batch: &[Vec<Complex>], pool: &uniq_par::ThreadPool) -> Vec<Vec<Complex>> {
+    pool.par_map_chunked(batch, 1, |signal| fft(signal))
+}
+
 /// Forward FFT of a real signal, zero-padded to `len` (which must be a power
 /// of two and `>= signal.len()`).
 ///

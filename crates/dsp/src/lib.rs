@@ -25,7 +25,8 @@
 //! * [`align`] — impulse-response alignment utilities.
 //! * [`interp`] — one-dimensional and vector interpolation.
 //!
-//! The crate deliberately has **no** dependencies (not even `rand`): anything
+//! The crate's only dependency is the in-workspace `uniq-par` thread pool
+//! (for the `*_batch` kernels — scheduling only, never arithmetic): anything
 //! stochastic lives upstream in `uniq-acoustics`/`uniq-imu`, keeping this
 //! layer referentially transparent and easy to property-test.
 

@@ -152,6 +152,75 @@ pub fn with_sink<T>(sink: Arc<dyn Sink>, f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// A snapshot of this thread's observability state — the active sink (if
+/// any) and the current span depth — that can be carried to another
+/// thread and reinstalled there with [`ObsContext::run`].
+///
+/// Worker-pool code uses this so events emitted on pool threads land in
+/// the *caller's* sink at the caller's nesting depth, exactly as if the
+/// work had run inline. Without it, scoped sinks (which are thread-local)
+/// would silently drop everything produced on workers.
+///
+/// ```
+/// use std::sync::Arc;
+/// use uniq_obs::sink::MemorySink;
+///
+/// let sink = Arc::new(MemorySink::new());
+/// uniq_obs::with_sink(sink.clone(), || {
+///     let _outer = uniq_obs::span("outer");
+///     let ctx = uniq_obs::capture();
+///     std::thread::scope(|s| {
+///         s.spawn(|| ctx.run(|| uniq_obs::metric("from.worker", 1.0, "")));
+///     });
+/// });
+/// assert_eq!(sink.metric_values("from.worker"), vec![1.0]);
+/// ```
+#[derive(Clone)]
+pub struct ObsContext {
+    sink: Option<Arc<dyn Sink>>,
+    depth: usize,
+}
+
+/// Captures the calling thread's current sink and span depth. Cheap when
+/// no sink is installed.
+pub fn capture() -> ObsContext {
+    ObsContext {
+        sink: if ACTIVE_SINKS.load(Ordering::Relaxed) != 0 {
+            current_sink()
+        } else {
+            None
+        },
+        depth: current_depth(),
+    }
+}
+
+impl ObsContext {
+    /// Runs `f` with this context's sink and span depth installed on the
+    /// current thread, restoring the previous state afterwards (exception
+    /// safe). With no captured sink, `f` runs unmodified.
+    pub fn run<T>(&self, f: impl FnOnce() -> T) -> T {
+        let Some(sink) = self.sink.clone() else {
+            return f();
+        };
+        let depth = self.depth;
+        with_sink(sink, || {
+            struct DepthGuard(usize);
+            impl Drop for DepthGuard {
+                fn drop(&mut self) {
+                    DEPTH.with(|d| d.set(self.0));
+                }
+            }
+            let prev = DEPTH.with(|d| {
+                let v = d.get();
+                d.set(depth);
+                v
+            });
+            let _restore = DepthGuard(prev);
+            f()
+        })
+    }
+}
+
 fn dispatch(event: &Event) {
     if let Some(sink) = current_sink() {
         sink.on_event(event);
@@ -286,6 +355,35 @@ mod tests {
         assert_eq!(outer.metric_values("seen.outer"), vec![1.0, 3.0]);
         assert_eq!(outer.metric_values("seen.inner"), Vec::<f64>::new());
         assert_eq!(inner.metric_values("seen.inner"), vec![2.0]);
+    }
+
+    #[test]
+    fn context_carries_sink_and_depth_across_threads() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            let _outer = span("outer");
+            let ctx = capture();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    ctx.run(|| {
+                        let _inner = span("worker-span");
+                        counter("worker.events", 1);
+                    });
+                });
+            });
+        });
+        // The worker's span nests under "outer" exactly as inline code would.
+        assert_eq!(
+            sink.span_tree(),
+            vec![("outer".to_string(), 0), ("worker-span".to_string(), 1)]
+        );
+        assert_eq!(sink.counter_total("worker.events"), 1);
+    }
+
+    #[test]
+    fn context_without_sink_is_transparent() {
+        let ctx = capture();
+        assert_eq!(ctx.run(|| 41 + 1), 42);
     }
 
     #[test]

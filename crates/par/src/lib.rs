@@ -1,0 +1,119 @@
+//! # uniq-par
+//!
+//! A zero-dependency scoped work-stealing thread pool for the UNIQ
+//! personalization pipeline. The build environment has no crates.io
+//! access, so this crate implements the small subset of rayon's surface
+//! the workspace needs — [`ThreadPool::scope`]/[`Scope::spawn`], a chunked
+//! [`ThreadPool::par_map`], and panic propagation — from scratch on
+//! `std::thread` + `Mutex`/`Condvar`.
+//!
+//! Design contract, in order:
+//!
+//! 1. **Determinism.** Parallel results are bit-identical to sequential
+//!    ones. [`ThreadPool::par_map`] writes each chunk's output into its
+//!    index-ordered slot and reduces in index order, never in completion
+//!    order; [`ThreadPool::try_par_map`] evaluates every item and returns
+//!    the lowest-index error, exactly what a sequential in-order scan
+//!    reports. No atomics-ordered accumulation anywhere.
+//! 2. **Panic propagation.** A panicking task is caught on the worker,
+//!    carried to the owning [`ThreadPool::scope`] call, and re-raised
+//!    there. The pool survives and stays usable.
+//! 3. **One thread means zero overhead.** A pool of size 1 spawns no
+//!    workers and `par_map` degenerates to a plain sequential `map` on the
+//!    caller's thread, preserving the pre-parallel code path exactly.
+//!
+//! Pools are deduplicated by size through [`pool`], and the default size
+//! comes from `UNIQ_THREADS` or the machine's available parallelism.
+
+#![warn(missing_docs)]
+
+mod pool;
+mod scope;
+
+pub use pool::ThreadPool;
+pub use scope::Scope;
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hard cap on pool size: guards against absurd `UNIQ_THREADS` values.
+pub const MAX_THREADS: usize = 256;
+
+/// Parses a thread-count override (the `UNIQ_THREADS` environment
+/// variable): a positive integer, clamped to [`MAX_THREADS`]. Returns
+/// `None` for absent, empty, zero, or unparsable values.
+pub fn threads_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_THREADS))
+}
+
+/// The process-wide default parallelism: `UNIQ_THREADS` if set and valid,
+/// otherwise `std::thread::available_parallelism()`. Computed once and
+/// cached for the life of the process.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        threads_from_env(std::env::var("UNIQ_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(MAX_THREADS))
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Returns the shared pool of the requested size, creating it on first
+/// use. `threads == 0` means "default" (see [`default_threads`]). Pools
+/// are cached per size and live for the rest of the process, so hot paths
+/// can call this per invocation without paying thread-spawn costs.
+pub fn pool(threads: usize) -> Arc<ThreadPool> {
+    type Registry = Mutex<Vec<(usize, Arc<ThreadPool>)>>;
+    static POOLS: OnceLock<Registry> = OnceLock::new();
+    let n = if threads == 0 {
+        default_threads()
+    } else {
+        threads.min(MAX_THREADS)
+    };
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("pool registry poisoned");
+    if let Some((_, p)) = pools.iter().find(|(size, _)| *size == n) {
+        return p.clone();
+    }
+    let p = Arc::new(ThreadPool::new(n));
+    pools.push((n, p.clone()));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(threads_from_env(None), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(Some("0")), None);
+        assert_eq!(threads_from_env(Some("banana")), None);
+        assert_eq!(threads_from_env(Some("4")), Some(4));
+        assert_eq!(threads_from_env(Some(" 8 ")), Some(8));
+        assert_eq!(threads_from_env(Some("100000")), Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn pool_registry_dedupes_by_size() {
+        let a = pool(3);
+        let b = pool(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 3);
+        let c = pool(2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn zero_means_default() {
+        let d = pool(0);
+        assert_eq!(d.threads(), default_threads());
+    }
+}

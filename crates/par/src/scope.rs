@@ -1,0 +1,122 @@
+//! Scoped tasks: borrow-friendly spawning with panic capture.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::pool::{Job, ThreadPool};
+
+/// Shared bookkeeping for one [`ThreadPool::scope`] call: how many
+/// spawned tasks are still outstanding, and the first panic any of them
+/// raised.
+pub(crate) struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    pub(crate) fn new() -> ScopeState {
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn task_started(&self) {
+        *self.pending.lock().expect("scope pending poisoned") += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock().expect("scope pending poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        // Keep the first panic: with several failing tasks the earliest
+        // arrival wins, and the rest are dropped like rayon does.
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.panic.lock().expect("scope panic slot poisoned").take()
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        *self.pending.lock().expect("scope pending poisoned") == 0
+    }
+
+    /// Blocks briefly until a task completes (or a short timeout, after
+    /// which the caller re-checks the queues for newly spawned work).
+    pub(crate) fn wait_done_briefly(&self) {
+        let pending = self.pending.lock().expect("scope pending poisoned");
+        if *pending == 0 {
+            return;
+        }
+        let _unused = self
+            .done
+            .wait_timeout(pending, Duration::from_micros(200))
+            .expect("scope pending poisoned");
+    }
+}
+
+/// A task scope handed to the closure of [`ThreadPool::scope`]. Tasks
+/// spawned through it may borrow anything that outlives `'env`.
+pub struct Scope<'env> {
+    pool: &'env ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`: prevents the scope from being coerced to a
+    /// longer environment lifetime, which would let tasks borrow data
+    /// that dies before the scope drains.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    pub(crate) fn new(pool: &'env ThreadPool, state: Arc<ScopeState>) -> Scope<'env> {
+        Scope {
+            pool,
+            state,
+            _env: PhantomData,
+        }
+    }
+
+    /// Spawns `f` onto the pool. The task may borrow from the
+    /// environment (`'env`); the owning [`ThreadPool::scope`] call does
+    /// not return until the task has run to completion or panicked.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.task_started();
+        let state = self.state.clone();
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.store_panic(payload);
+            }
+            state.task_finished();
+        });
+        // SAFETY: the job is erased to 'static so it can sit in the
+        // pool's 'static queues, but it never outlives 'env in practice:
+        // `ThreadPool::scope` blocks (in its Waiter guard, even when the
+        // scope closure unwinds) until `pending` reaches zero, and
+        // `task_finished` runs strictly after the closure body — so every
+        // borrow the closure holds is still alive whenever it executes.
+        // The fat-pointer layout of Box<dyn FnOnce> is lifetime-invariant,
+        // making the transmute itself a no-op.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                wrapped,
+            )
+        };
+        self.pool.inject(job);
+    }
+}

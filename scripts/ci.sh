@@ -10,7 +10,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test =="
-cargo test -q --workspace
+echo "== cargo test (UNIQ_THREADS=1) =="
+UNIQ_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (UNIQ_THREADS=4) =="
+UNIQ_THREADS=4 cargo test -q --workspace
 
 echo "CI green."

@@ -2,9 +2,10 @@
 //! gracefully — clean errors, never panics or silent garbage — under
 //! hostile conditions.
 
+use uniq_core::channel::ChannelError;
 use uniq_core::config::UniqConfig;
 use uniq_core::pipeline::{personalize, PersonalizationError};
-use uniq_core::session::run_session;
+use uniq_core::session::{run_session, SessionError};
 use uniq_imu::trajectory::Imperfections;
 use uniq_imu::GyroModel;
 use uniq_subjects::Subject;
@@ -101,6 +102,107 @@ fn tiny_room_gate_never_panics() {
     // A structured failure is fine; success must produce a full table.
     if let Ok(result) = personalize(&subject, &cfg, 5) {
         assert_eq!(result.hrtf.far().len(), cfg.output_grid().len());
+    }
+}
+
+#[test]
+fn hopeless_snr_fails_cleanly_under_parallel_session() {
+    // The same hostile condition as `hopeless_snr_fails_cleanly`, but with
+    // the per-stop loop fanned over 8 workers: failures must surface as
+    // the same structured errors, never as a worker panic or a generic
+    // join error, and a session failure must name the failing stop.
+    let cfg = UniqConfig {
+        snr_db: -10.0,
+        threads: 8,
+        ..base_cfg()
+    };
+    let subject = Subject::from_seed(400);
+    match personalize(&subject, &cfg, 1) {
+        Err(PersonalizationError::Session(SessionError::Stop { stop, error })) => {
+            assert!(stop < cfg.stops, "stop index {stop} out of range");
+            assert_eq!(error, ChannelError::NoFirstTap);
+        }
+        Err(_) => {} // other structured errors (rejection, fusion) are fine
+        Ok(result) => {
+            assert!(result.fusion.mean_residual_deg <= cfg.max_fusion_residual_deg);
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_sessions_agree_on_the_failing_stop() {
+    // Whatever a hostile config does, the parallel session must report the
+    // same outcome as the sequential one — including *which* stop failed
+    // (try_par_map returns the lowest-index error, as a serial scan would).
+    let subject = Subject::from_seed(400);
+    for snr in [-10.0, 5.0, 45.0] {
+        let seq = run_session(
+            &subject,
+            &UniqConfig {
+                snr_db: snr,
+                threads: 1,
+                ..base_cfg()
+            },
+            7,
+        );
+        let par = run_session(
+            &subject,
+            &UniqConfig {
+                snr_db: snr,
+                threads: 8,
+                ..base_cfg()
+            },
+            7,
+        );
+        match (&seq, &par) {
+            (Ok(a), Ok(b)) => assert_eq!(a.stops.len(), b.stops.len()),
+            (Err(a), Err(b)) => assert_eq!(a, b, "snr {snr}: different failing stop"),
+            _ => panic!("snr {snr}: sequential and parallel outcomes disagree"),
+        }
+    }
+}
+
+#[test]
+fn session_errors_name_the_failing_stop() {
+    // The error contract batch callers rely on: stop identity in the
+    // variant, in the message, and the underlying cause in source().
+    let err = SessionError::Stop {
+        stop: 7,
+        error: ChannelError::NoFirstTap,
+    };
+    assert!(err.to_string().contains("stop 7"), "message: {err}");
+    assert!(err.to_string().contains("no detectable first tap"));
+    let source = std::error::Error::source(&err).expect("carries its cause");
+    assert_eq!(source.to_string(), ChannelError::NoFirstTap.to_string());
+
+    let wrapped = PersonalizationError::Session(err);
+    assert!(wrapped.to_string().contains("stop 7"), "lost stop identity");
+}
+
+#[test]
+fn failed_subjects_in_a_batch_are_identified_not_joined() {
+    // Force every subject to fail (impossible residual bound, one
+    // attempt): each outcome must come back tagged with its subject's
+    // seed and a structured error — a mid-batch failure never aborts the
+    // batch or degenerates into an anonymous join error.
+    let cfg = UniqConfig {
+        max_fusion_residual_deg: 0.001,
+        threads: 1,
+        ..base_cfg()
+    };
+    let seeds = [410u64, 411, 412, 413];
+    let outcomes = uniq_core::batch::personalize_batch(&seeds, &cfg, 4, 1);
+    assert_eq!(outcomes.len(), seeds.len());
+    for (outcome, &seed) in outcomes.iter().zip(&seeds) {
+        assert_eq!(outcome.seed, seed, "outcome lost its subject identity");
+        let err = outcome
+            .result
+            .as_ref()
+            .expect_err("impossible residual bound must reject");
+        assert!(
+            matches!(err, PersonalizationError::GestureRejected { .. }),
+            "subject {seed}: unexpected error {err:?}"
+        );
     }
 }
 

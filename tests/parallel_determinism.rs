@@ -1,0 +1,146 @@
+//! Parallel-vs-sequential bit-identity: the determinism contract of the
+//! uniq-par engine. The same seeded subject personalized at `threads = 1`
+//! and `threads = 8` must produce bit-identical HRTFs, AoA estimates, and
+//! observability aggregates — thread count changes scheduling, never
+//! results.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use uniq_acoustics::measure::{record_plane_wave, MeasurementSetup};
+use uniq_core::batch::{hrtf_fingerprint, personalize_batch};
+use uniq_core::config::UniqConfig;
+use uniq_core::pipeline::{personalize, PersonalizationResult};
+use uniq_obs::sink::MemorySink;
+use uniq_obs::Event;
+use uniq_subjects::Subject;
+
+fn cfg_with(threads: usize) -> UniqConfig {
+    UniqConfig {
+        in_room: false,
+        snr_db: 45.0,
+        grid_step_deg: 10.0,
+        threads,
+        ..UniqConfig::fast_test()
+    }
+}
+
+fn assert_results_identical(a: &PersonalizationResult, b: &PersonalizationResult) {
+    assert_eq!(a.radius_m.to_bits(), b.radius_m.to_bits());
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.localization, b.localization);
+    assert_eq!(a.fusion.head.a.to_bits(), b.fusion.head.a.to_bits());
+    for (x, y) in a.hrtf.far().irs().iter().zip(b.hrtf.far().irs()) {
+        assert_eq!(x.left, y.left);
+        assert_eq!(x.right, y.right);
+    }
+    for (x, y) in a.hrtf.near().irs().iter().zip(b.hrtf.near().irs()) {
+        assert_eq!(x.left, y.left);
+        assert_eq!(x.right, y.right);
+    }
+}
+
+#[test]
+fn pipeline_is_bit_identical_across_thread_counts() {
+    let subject = Subject::from_seed(70);
+    let sequential = personalize(&subject, &cfg_with(1), 42).expect("sequential run");
+    let parallel = personalize(&subject, &cfg_with(8), 42).expect("parallel run");
+    assert_results_identical(&sequential, &parallel);
+}
+
+#[test]
+fn aoa_estimates_identical_across_thread_counts() {
+    let c1 = cfg_with(1);
+    let c8 = cfg_with(8);
+    let subject = Subject::from_seed(90);
+    let renderer = subject.renderer(c1.render, 1024);
+    let angles: Vec<f64> = (0..=36).map(|k| k as f64 * 5.0).collect();
+    let bank = renderer.ground_truth_bank(&angles);
+    let setup = MeasurementSetup::anechoic(c1.render.sample_rate, 40.0);
+    let probe = c1.probe();
+
+    for truth in [20.0, 75.0, 140.0] {
+        let rec = record_plane_wave(&renderer, &setup, truth, &probe, 7);
+        let known1 = uniq_core::aoa::estimate_known_source(&rec, &probe, &bank, &c1);
+        let known8 = uniq_core::aoa::estimate_known_source(&rec, &probe, &bank, &c8);
+        assert_eq!(
+            known1.to_bits(),
+            known8.to_bits(),
+            "known-source AoA diverged at θ={truth}: {known1} vs {known8}"
+        );
+        let unknown1 = uniq_core::aoa::estimate_unknown_source(&rec, &bank, &c1);
+        let unknown8 = uniq_core::aoa::estimate_unknown_source(&rec, &bank, &c8);
+        assert_eq!(
+            unknown1.to_bits(),
+            unknown8.to_bits(),
+            "unknown-source AoA diverged at θ={truth}: {unknown1} vs {unknown8}"
+        );
+    }
+}
+
+type CounterTotals = BTreeMap<&'static str, u64>;
+type MetricBits = BTreeMap<&'static str, Vec<u64>>;
+type SpanCounts = BTreeMap<&'static str, usize>;
+
+/// Aggregates one recorded run: per-name counter totals, per-name sorted
+/// metric value bits, and per-name span counts. Event *order* may differ
+/// across thread counts (workers interleave); the aggregates may not.
+fn aggregates(events: &[Event]) -> (CounterTotals, MetricBits, SpanCounts) {
+    let mut counters = BTreeMap::new();
+    let mut metrics: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut spans = BTreeMap::new();
+    for e in events {
+        match e {
+            Event::Counter { name, delta } => *counters.entry(*name).or_insert(0) += delta,
+            Event::Metric { name, value, .. } => {
+                metrics.entry(*name).or_default().push(value.to_bits())
+            }
+            Event::SpanStart { name, .. } => *spans.entry(*name).or_insert(0) += 1,
+            Event::SpanEnd { .. } => {}
+        }
+    }
+    for values in metrics.values_mut() {
+        values.sort_unstable();
+    }
+    (counters, metrics, spans)
+}
+
+#[test]
+fn observability_aggregates_identical_across_thread_counts() {
+    let subject = Subject::from_seed(71);
+    let record = |threads: usize| {
+        let sink = Arc::new(MemorySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            personalize(&subject, &cfg_with(threads), 43).expect("pipeline succeeds")
+        });
+        aggregates(&sink.events())
+    };
+    let (counters1, metrics1, spans1) = record(1);
+    let (counters8, metrics8, spans8) = record(8);
+    assert_eq!(counters1, counters8, "counter totals diverged");
+    assert_eq!(spans1, spans8, "span counts diverged");
+    assert_eq!(
+        metrics1.keys().collect::<Vec<_>>(),
+        metrics8.keys().collect::<Vec<_>>(),
+        "metric names diverged"
+    );
+    for (name, values) in &metrics1 {
+        assert_eq!(
+            values, &metrics8[name],
+            "metric {name} values diverged between thread counts"
+        );
+    }
+}
+
+#[test]
+fn batch_fingerprint_identical_across_thread_counts() {
+    let cfg = UniqConfig {
+        grid_step_deg: 15.0,
+        threads: 1,
+        ..cfg_with(1)
+    };
+    let seeds = [70u64, 71, 72, 73];
+    let fp1 = hrtf_fingerprint(&personalize_batch(&seeds, &cfg, 1, 2));
+    let fp8 = hrtf_fingerprint(&personalize_batch(&seeds, &cfg, 8, 2));
+    assert_eq!(fp1, fp8, "batch outputs diverged between 1 and 8 threads");
+}

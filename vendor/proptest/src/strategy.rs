@@ -28,6 +28,23 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(f64, f32, usize, isize, u64, i64, u32, i32);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
 /// Lengths accepted by [`vec`]: a fixed `usize` or a half-open range.
 pub trait IntoLenRange {
     /// The concrete `[lo, hi)` bounds.
