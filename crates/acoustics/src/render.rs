@@ -15,6 +15,28 @@ use uniq_geometry::diffraction::path_to_ear;
 use uniq_geometry::planewave::plane_path_to_ear;
 use uniq_geometry::{Ear, HeadBoundary, Vec2};
 
+/// A near-field measurement circle intersected the head: the requested
+/// radius places a measurement point inside (or on) the boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearFieldError {
+    /// First angle (degrees) whose measurement point fell inside the head.
+    pub angle_deg: f64,
+    /// The requested circle radius, metres.
+    pub radius_m: f64,
+}
+
+impl std::fmt::Display for NearFieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "near-field radius {} m does not clear the head at {}°",
+            self.radius_m, self.angle_deg
+        )
+    }
+}
+
+impl std::error::Error for NearFieldError {}
+
 /// A subject-specific binaural renderer: head geometry plus one pinna model
 /// per ear.
 ///
@@ -128,20 +150,26 @@ impl Renderer {
 
     /// Near-field HRIR bank measured on a circle of `radius` metres.
     ///
-    /// # Panics
-    /// Panics if the radius does not clear the head.
-    pub fn near_field_bank(&self, angles_deg: &[f64], radius: f64) -> HrirBank {
-        let pairs = angles_deg
-            .iter()
-            .map(|&a| {
-                let src = uniq_geometry::vec2::unit_from_theta(a) * radius;
-                let ir = self
-                    .render_point(src)
-                    .expect("near-field radius must clear the head");
-                (a, ir)
-            })
-            .collect();
-        HrirBank::new(pairs, self.cfg.sample_rate)
+    /// # Errors
+    /// Returns [`NearFieldError`] if the circle does not clear the head
+    /// at some angle — the error names the first offending angle so a
+    /// caller sweeping radii can report exactly where the geometry
+    /// failed instead of dying mid-batch.
+    pub fn near_field_bank(
+        &self,
+        angles_deg: &[f64],
+        radius: f64,
+    ) -> Result<HrirBank, NearFieldError> {
+        let mut pairs = Vec::with_capacity(angles_deg.len());
+        for &a in angles_deg {
+            let src = uniq_geometry::vec2::unit_from_theta(a) * radius;
+            let ir = self.render_point(src).ok_or(NearFieldError {
+                angle_deg: a,
+                radius_m: radius,
+            })?;
+            pairs.push((a, ir));
+        }
+        Ok(HrirBank::new(pairs, self.cfg.sample_rate))
     }
 
     /// Renders a single arrival into an ear IR: fractional-delay tap,

@@ -146,7 +146,11 @@ impl HrirBank {
     /// Panics if empty, lengths differ, angles repeat, or any angle is NaN.
     pub fn new(mut pairs: Vec<(f64, BinauralIr)>, sample_rate: f64) -> Self {
         assert!(!pairs.is_empty(), "HrirBank needs at least one entry");
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN angle"));
+        assert!(
+            pairs.iter().all(|(angle, _)| !angle.is_nan()),
+            "NaN angle in HrirBank"
+        );
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in pairs.windows(2) {
             assert!(
                 w[1].0 - w[0].0 > 1e-9,
@@ -202,8 +206,9 @@ impl HrirBank {
             .min_by(|(_, a), (_, b)| {
                 let da = wrap_diff(**a, t);
                 let db = wrap_diff(**b, t);
-                da.partial_cmp(&db).expect("NaN angle")
+                da.total_cmp(&db)
             })
+            // uniq-analyzer: allow(panic-safety) — the constructor asserts the bank is non-empty
             .expect("non-empty bank");
         (&self.irs[idx], self.angles_deg[idx])
     }

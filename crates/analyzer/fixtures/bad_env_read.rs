@@ -1,0 +1,9 @@
+//! Fixture: ambient environment reads in a result crate (analyzed as
+//! `optim`).
+
+pub fn thread_count() -> usize {
+    std::env::var("UNIQ_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a crate root (analyzed as `geometry`, `is_crate_root`) that
+//! forgot `#![forbid(unsafe_code)]`.
+
+pub mod shapes;
+
+pub fn area(r: f64) -> f64 {
+    std::f64::consts::PI * r * r
+}

@@ -1,0 +1,7 @@
+//! Fixture: inline metric/counter names outside `uniq-obs` (analyzed as
+//! `render`).
+
+pub fn emit(v: f64) {
+    uniq_obs::metric("render.latency_ms", v, "ms");
+    uniq_obs::counter("render.frames", 1);
+}

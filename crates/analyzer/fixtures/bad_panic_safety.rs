@@ -1,0 +1,27 @@
+//! Fixture: panicking calls in result-crate library code (analyzed as
+//! `acoustics`).
+
+pub fn first_tap(taps: &[f64]) -> f64 {
+    let first = taps.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite tap");
+    }
+    *first
+}
+
+pub fn lookup(bank: &[Vec<f64>], i: usize) -> &Vec<f64> {
+    bank.get(i).expect("index in range")
+}
+
+pub fn todo_path() -> f64 {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1.0f64];
+        assert_eq!(*v.first().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no SAFETY audit comment (analyzed as
+//! `par`, the one crate allowed to contain unsafe at all).
+
+pub fn reinterpret(x: &u64) -> &i64 {
+    unsafe { &*(x as *const u64 as *const i64) }
+}

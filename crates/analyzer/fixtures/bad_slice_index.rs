@@ -1,0 +1,5 @@
+//! Fixture: direct slice indexing (strict mode only; analyzed as `dsp`).
+
+pub fn midpoint(samples: &[f64]) -> f64 {
+    samples[samples.len() / 2]
+}

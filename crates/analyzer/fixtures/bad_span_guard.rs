@@ -1,0 +1,9 @@
+//! Fixture: span guards dropped on the spot (analyzed as `core`).
+
+pub fn run() {
+    let _ = uniq_obs::span("fusion");
+    compute();
+    uniq_obs::span("render");
+}
+
+fn compute() {}

@@ -1,0 +1,9 @@
+//! Fixture: malformed suppressions (analyzed as `imu`).
+
+pub fn f(v: &[f64]) -> f64 {
+    // uniq-analyzer: allow(panic-safety)
+    let a = v.first().unwrap();
+    // uniq-analyzer: allow(no-such-rule) — justifying a rule that does not exist
+    let b = v.last().unwrap();
+    a + b
+}

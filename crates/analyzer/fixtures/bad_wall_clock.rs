@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads in a result crate (analyzed as `core`).
+use std::time::{Instant, SystemTime};
+
+pub fn jittered_seed() -> u64 {
+    let t = SystemTime::now();
+    let _start = Instant::now();
+    t.duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_nanos() as u64)
+}

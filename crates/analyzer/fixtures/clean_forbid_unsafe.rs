@@ -1,0 +1,7 @@
+//! Fixture: a crate root that declares the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn area(r: f64) -> f64 {
+    std::f64::consts::PI * r * r
+}

@@ -1,0 +1,10 @@
+//! Fixture: ordered containers only — nothing to report.
+use std::collections::BTreeMap;
+
+pub fn histogram(samples: &[u32]) -> BTreeMap<u32, usize> {
+    let mut counts = BTreeMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    counts
+}

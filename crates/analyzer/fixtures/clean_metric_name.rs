@@ -1,0 +1,5 @@
+//! Fixture: metric names routed through the shared constants module.
+
+pub fn emit(v: f64) {
+    uniq_obs::metric(uniq_obs::names::SESSION_STOPS, v, "");
+}

@@ -1,0 +1,17 @@
+//! Fixture: fallible paths return `Result`; the one residual `expect`
+//! carries a suppression with a justification.
+
+pub fn first_tap(taps: &[f64]) -> Result<f64, &'static str> {
+    taps.first().copied().ok_or("no taps detected")
+}
+
+pub fn checked_max(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "caller guarantees non-empty");
+    let mut best = f64::NEG_INFINITY;
+    for &v in values {
+        best = if v.total_cmp(&best).is_gt() { v } else { best };
+    }
+    // uniq-analyzer: allow(panic-safety) — the assert above guarantees at least one element
+    let _ = values.last().expect("non-empty");
+    best
+}

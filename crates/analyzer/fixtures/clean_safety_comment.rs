@@ -1,0 +1,7 @@
+//! Fixture: the same unsafe block, properly audited.
+
+pub fn reinterpret(x: &u64) -> &i64 {
+    // SAFETY: u64 and i64 have identical size and alignment, and the
+    // reference's lifetime is inherited from the input borrow.
+    unsafe { &*(x as *const u64 as *const i64) }
+}

@@ -1,0 +1,8 @@
+//! Fixture: span guard bound to a named local — covers its scope.
+
+pub fn run() {
+    let _span = uniq_obs::span("fusion");
+    compute();
+}
+
+fn compute() {}

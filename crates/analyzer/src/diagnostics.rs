@@ -1,0 +1,129 @@
+//! Diagnostics: severity, rendering, and machine-readable JSON output.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but only fails the run under `--strict`.
+    Warning,
+    /// Fails the run unless suppressed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding at a file:line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (stable identifier, used in `allow(...)`).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON array (hand-rolled: the workspace has
+/// no serde). Output is stable: the caller sorts before rendering.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"file\":{},", json_str(&d.file)));
+        out.push_str(&format!("\"line\":{},", d.line));
+        out.push_str(&format!("\"rule\":{},", json_str(d.rule)));
+        out.push_str(&format!(
+            "\"severity\":{},",
+            json_str(&d.severity.to_string())
+        ));
+        out.push_str(&format!("\"message\":{}", json_str(&d.message)));
+        out.push('}');
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: "wall-clock",
+            severity: Severity::Error,
+            message: "no".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/x.rs:7: error[wall-clock]: no"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: "panic-safety",
+            severity: Severity::Warning,
+            message: "line1\nline2".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("\"file\":\"a\\\"b.rs\""));
+        assert!(j.contains("\\nline2"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_json_is_empty_array() {
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+}

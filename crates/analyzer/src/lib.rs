@@ -1,0 +1,67 @@
+//! # uniq-analyzer
+//!
+//! A self-contained static-analysis pass over the UNIQ workspace,
+//! enforcing the domain invariants the paper reproduction silently
+//! depends on: **determinism** (no unordered iteration, wall-clock
+//! reads, or environment reads in result-producing crates),
+//! **unsafe-audit** (`unsafe` confined to `uniq-par`, every block
+//! carrying a `// SAFETY:` comment, every other crate root declaring
+//! `#![forbid(unsafe_code)]`), **panic-safety** (no
+//! `unwrap`/`expect`/`panic!` in result-crate library paths), and
+//! **observability hygiene** (span guards bound, metric names shared
+//! constants).
+//!
+//! Why a bespoke tool instead of clippy lints: the invariants are
+//! *domain* rules — "crate X may not read the clock", "metric names
+//! must come from `uniq_obs::names`" — that no general-purpose lint
+//! expresses, and the offline build environment has no `syn`/`dylint`
+//! to build on. The analyzer therefore hand-rolls a lossless-enough
+//! tokenizer ([`lexer`]), a per-file context with test-region and
+//! suppression tracking ([`source`]), and a small rule engine
+//! ([`rules`]) with `file:line` diagnostics and machine-readable JSON
+//! output ([`diagnostics`]).
+//!
+//! Run it over the workspace:
+//!
+//! ```text
+//! cargo run -p uniq-analyzer -- check             # human-readable
+//! cargo run -p uniq-analyzer -- check --format json
+//! cargo run -p uniq-analyzer -- check --strict    # + audit-level rules
+//! ```
+//!
+//! Exit status is nonzero iff any unsuppressed **error**-severity
+//! diagnostic remains. Individual sites are silenced with an inline
+//! comment naming the rule and the reason:
+//!
+//! ```text
+//! // uniq-analyzer: allow(wall-clock) — timing feeds obs metrics only
+//! ```
+//!
+//! A suppression without a justification (or naming an unknown rule) is
+//! itself an error, so the audit trail stays honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diagnostics::{Diagnostic, Severity};
+pub use source::SourceFile;
+pub use workspace::{analyze_workspace, find_root, WorkspaceReport};
+
+/// Analyzes a single source text as if it were at `path` in crate
+/// `crate_name`. The entry point the golden-fixture tests use.
+pub fn analyze_str(
+    path: &str,
+    crate_name: &str,
+    is_crate_root: bool,
+    text: &str,
+    strict: bool,
+) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path, crate_name, is_crate_root, text);
+    rules::analyze_file(&file, strict)
+}

@@ -1,0 +1,138 @@
+//! Workspace discovery: which files get analyzed, and with what crate
+//! identity.
+//!
+//! The walk is deliberately explicit rather than manifest-driven: the
+//! analyzer lints `crates/*/src/**/*.rs` plus the umbrella crate's
+//! `src/`, in sorted order so diagnostics are stable run to run (the
+//! analyzer holds itself to the determinism bar it enforces).
+//!
+//! Not walked, by design:
+//! - `vendor/` — offline stand-ins for third-party crates; not ours to
+//!   lint.
+//! - `crates/*/tests/`, `tests/`, `examples/`, benches — test code is
+//!   exempt from every rule, so whole test trees are skipped at the
+//!   walk level.
+//! - `crates/analyzer/fixtures/` — known-bad snippets would obviously
+//!   fail (they are outside any `src/`, so the walk never sees them).
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::analyze_file;
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of analyzing a whole workspace.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All unsuppressed diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files analyzed.
+    pub files_analyzed: usize,
+    /// Total suppressions encountered (for the audit summary).
+    pub suppressions: usize,
+}
+
+/// Locates the workspace root at or above `start`: the nearest ancestor
+/// containing both `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Analyzes every lintable file under `root`. `strict` enables the
+/// warning-level audit rules.
+pub fn analyze_workspace(root: &Path, strict: bool) -> io::Result<WorkspaceReport> {
+    let mut diagnostics = Vec::new();
+    let mut files_analyzed = 0usize;
+    let mut suppressions = 0usize;
+
+    let mut units: Vec<(String, PathBuf)> = Vec::new(); // (crate name, src dir)
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if src.is_dir() {
+            units.push((name, src));
+        }
+    }
+    // The umbrella crate at the workspace root.
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        units.push(("suite".to_string(), root_src));
+    }
+
+    for (crate_name, src_dir) in units {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_crate_root = path
+                .file_name()
+                .is_some_and(|n| n == "lib.rs" || n == "main.rs")
+                && path.parent() == Some(src_dir.as_path());
+            let file = SourceFile::parse(&rel, &crate_name, is_crate_root, &text);
+            suppressions += file.suppressions.len();
+            diagnostics.extend(analyze_file(&file, strict));
+            files_analyzed += 1;
+        }
+    }
+
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(WorkspaceReport {
+        diagnostics,
+        files_analyzed,
+        suppressions,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_upward() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above the analyzer crate");
+        assert!(root.join("crates").join("analyzer").is_dir());
+    }
+
+    #[test]
+    fn find_root_fails_cleanly_outside_a_workspace() {
+        assert!(find_root(Path::new("/")).is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Golden-fixture tests: every rule has at least one known-bad fixture
+//! that must produce exactly the expected findings, and a clean
+//! counterpart that must produce none. The fixtures live outside `src/`
+//! so the workspace walk (and rustc) never touch them.
+
+use uniq_analyzer::{analyze_str, Severity};
+
+fn check(
+    fixture: &str,
+    crate_name: &str,
+    is_crate_root: bool,
+    strict: bool,
+) -> Vec<uniq_analyzer::Diagnostic> {
+    analyze_str("fixture.rs", crate_name, is_crate_root, fixture, strict)
+}
+
+#[test]
+fn hash_iteration_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_hash_iteration.rs"),
+        "dsp",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 6, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "hash-iteration"));
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    // The `#[cfg(test)]` module's HashMap uses are exempt.
+    assert!(diags.iter().all(|d| d.line < 15), "{diags:#?}");
+}
+
+#[test]
+fn hash_iteration_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_hash_iteration.rs"),
+        "dsp",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn hash_iteration_ignored_outside_result_crates() {
+    let diags = check(
+        include_str!("../fixtures/bad_hash_iteration.rs"),
+        "cli",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn wall_clock_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_wall_clock.rs"),
+        "core",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "wall-clock"));
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![2, 2, 5, 6]);
+}
+
+#[test]
+fn env_read_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_env_read.rs"),
+        "optim",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "env-read");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn forbid_unsafe_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_forbid_unsafe.rs"),
+        "geometry",
+        true,
+        false,
+    );
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "forbid-unsafe");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn forbid_unsafe_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_forbid_unsafe.rs"),
+        "geometry",
+        true,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn forbid_unsafe_only_applies_to_crate_roots() {
+    let diags = check(
+        include_str!("../fixtures/bad_forbid_unsafe.rs"),
+        "geometry",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn forbid_unsafe_exempts_par() {
+    let diags = check(
+        include_str!("../fixtures/bad_forbid_unsafe.rs"),
+        "par",
+        true,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn safety_comment_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_safety_comment.rs"),
+        "par",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "safety-comment");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn safety_comment_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_safety_comment.rs"),
+        "par",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn panic_safety_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_panic_safety.rs"),
+        "acoustics",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "panic-safety"));
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![5, 7, 13, 17]);
+}
+
+#[test]
+fn panic_safety_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_panic_safety.rs"),
+        "acoustics",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn slice_index_requires_strict() {
+    let fixture = include_str!("../fixtures/bad_slice_index.rs");
+    let relaxed = check(fixture, "dsp", false, false);
+    assert!(relaxed.is_empty(), "{relaxed:#?}");
+    let strict = check(fixture, "dsp", false, true);
+    assert_eq!(strict.len(), 1, "{strict:#?}");
+    assert_eq!(strict[0].rule, "slice-index");
+    assert_eq!(strict[0].severity, Severity::Warning);
+    assert_eq!(strict[0].line, 4);
+}
+
+#[test]
+fn span_guard_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_span_guard.rs"),
+        "core",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "obs-span-guard"));
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 6]);
+}
+
+#[test]
+fn span_guard_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_span_guard.rs"),
+        "core",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn metric_name_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_metric_name.rs"),
+        "render",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "obs-metric-name"));
+}
+
+#[test]
+fn metric_name_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_metric_name.rs"),
+        "render",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn metric_name_exempts_obs_itself() {
+    let diags = check(
+        include_str!("../fixtures/bad_metric_name.rs"),
+        "obs",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn bad_suppressions_are_themselves_findings() {
+    let diags = check(
+        include_str!("../fixtures/bad_suppression.rs"),
+        "imu",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    // Line 4: allow(panic-safety) with no justification. It still
+    // suppresses the unwrap on line 5, but is itself flagged.
+    assert_eq!((diags[0].rule, diags[0].line), ("bad-suppression", 4));
+    // Line 6: names a rule that does not exist …
+    assert_eq!((diags[1].rule, diags[1].line), ("bad-suppression", 6));
+    // … and therefore does not cover the unwrap on line 7.
+    assert_eq!((diags[2].rule, diags[2].line), ("panic-safety", 7));
+}
+
+#[test]
+fn json_output_shape() {
+    let diags = check(
+        include_str!("../fixtures/bad_env_read.rs"),
+        "optim",
+        false,
+        false,
+    );
+    let json = uniq_analyzer::diagnostics::to_json(&diags);
+    assert!(json.starts_with('['), "{json}");
+    assert!(json.contains("\"rule\":\"env-read\""), "{json}");
+    assert!(json.contains("\"line\":5"), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+}

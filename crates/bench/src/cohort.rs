@@ -6,6 +6,7 @@ use uniq_core::pipeline::{personalize_with_retry, PersonalizationResult};
 use uniq_subjects::{evaluation_cohort, Subject};
 
 /// One volunteer's personalization run plus the subject itself.
+#[derive(Debug)]
 pub struct VolunteerRun {
     /// The synthetic volunteer.
     pub subject: Subject,

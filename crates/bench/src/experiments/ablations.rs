@@ -210,9 +210,13 @@ pub fn interpolation_ablation() -> (f64, f64) {
 
     // Measure every 20°, query the 10°-offset midpoints.
     let measured: Vec<f64> = (0..=9).map(|k| k as f64 * 20.0).collect();
-    let bank = renderer.near_field_bank(&measured, 0.45);
+    let bank = renderer
+        .near_field_bank(&measured, 0.45)
+        .expect("0.45 m clears the head");
     let queries: Vec<f64> = (0..9).map(|k| 10.0 + k as f64 * 20.0).collect();
-    let truth = renderer.near_field_bank(&queries, 0.45);
+    let truth = renderer
+        .near_field_bank(&queries, 0.45)
+        .expect("0.45 m clears the head");
 
     let fusion = uniq_core::fusion::FusionResult {
         head: subject.head,
@@ -264,7 +268,9 @@ pub fn nearfar_ablation() -> (f64, f64) {
     let subject = Subject::from_seed(1003);
     let renderer = subject.renderer(cfg.render, uniq_subjects::FORWARD_RESOLUTION);
     let grid = cfg.output_grid();
-    let near = renderer.near_field_bank(&grid, 0.45);
+    let near = renderer
+        .near_field_bank(&grid, 0.45)
+        .expect("0.45 m clears the head");
     let truth = renderer.ground_truth_bank(&grid);
 
     let fusion = uniq_core::fusion::FusionResult {

@@ -27,6 +27,7 @@ pub struct SimRecord {
 }
 
 /// Summary statistics returned for assertions.
+#[derive(Debug)]
 pub struct Summary {
     /// Mean UNIQ similarity (left, right).
     pub uniq: (f64, f64),

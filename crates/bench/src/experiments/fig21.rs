@@ -9,6 +9,7 @@ use uniq_dsp::stats::{median, Ecdf};
 use uniq_geometry::vec2::angle_diff_deg;
 
 /// Result summary for assertions.
+#[derive(Debug)]
 pub struct Fig21Summary {
     /// Personalized-template errors, degrees.
     pub personal_errors: Vec<f64>,

@@ -13,6 +13,7 @@ use uniq_dsp::stats::{median, percentile, Ecdf};
 use uniq_geometry::vec2::angle_diff_deg;
 
 /// Per-category result.
+#[derive(Debug)]
 pub struct CategoryResult {
     /// Which signal category.
     pub kind: SignalKind,

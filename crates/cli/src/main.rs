@@ -1,5 +1,7 @@
 //! The `uniq` command-line binary. See [`uniq_cli`] for the interface.
 
+#![forbid(unsafe_code)]
+
 use uniq_cli::args::Args;
 use uniq_cli::commands;
 

@@ -80,7 +80,9 @@ pub fn estimate_known_source(
         cfg.channel_len,
         &pool,
     );
+    // uniq-analyzer: allow(panic-safety) — par_map returns exactly one output per input; the batch above has two
     let ch_right = chans.pop().expect("batch of two");
+    // uniq-analyzer: allow(panic-safety) — same two-element batch; second pop cannot fail
     let ch_left = chans.pop().expect("batch of two");
 
     let t0 = match (

@@ -8,7 +8,7 @@
 
 use crate::config::UniqConfig;
 use crate::pipeline::{personalize_with_retry, PersonalizationError, PersonalizationResult};
-use std::time::Instant;
+use uniq_obs::{names, Stopwatch};
 use uniq_subjects::Subject;
 
 /// The outcome of one subject's personalization inside a batch, tagged
@@ -43,13 +43,13 @@ pub fn personalize_batch(
     let ctx = uniq_obs::capture();
     let outcomes = pool.par_map_chunked(seeds, 1, |&seed| {
         ctx.run(|| {
-            let start = Instant::now();
+            let sw = Stopwatch::start();
             let subject = Subject::from_seed(seed);
             let result = personalize_with_retry(&subject, cfg, seed, max_attempts);
-            let seconds = start.elapsed().as_secs_f64();
-            uniq_obs::metric("batch.subject_seconds", seconds, "s");
+            let seconds = sw.elapsed_seconds();
+            uniq_obs::metric(names::BATCH_SUBJECT_SECONDS, seconds, "s");
             if result.is_err() {
-                uniq_obs::counter("batch.failures", 1);
+                uniq_obs::counter(names::BATCH_FAILURES, 1);
             }
             BatchOutcome {
                 seed,
@@ -58,7 +58,7 @@ pub fn personalize_batch(
             }
         })
     });
-    uniq_obs::counter("batch.subjects", outcomes.len() as u64);
+    uniq_obs::counter(names::BATCH_SUBJECTS, outcomes.len() as u64);
     outcomes
 }
 
@@ -135,9 +135,9 @@ pub fn scaling_sweep(
 ) -> ScalingReport {
     let mut points = Vec::with_capacity(thread_counts.len());
     for &threads in thread_counts {
-        let start = Instant::now();
+        let sw = Stopwatch::start();
         let outcomes = personalize_batch(seeds, cfg, threads, max_attempts);
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = sw.elapsed_seconds();
         points.push(ScalingPoint {
             threads,
             seconds,

@@ -105,7 +105,9 @@ pub fn estimate_channel(
         cfg.channel_len,
         &pool,
     );
+    // uniq-analyzer: allow(panic-safety) — par_map returns exactly one output per input; the batch above has two
     let raw_right = raw.pop().expect("batch of two");
+    // uniq-analyzer: allow(panic-safety) — same two-element batch; second pop cannot fail
     let raw_left = raw.pop().expect("batch of two");
 
     let comp_left =
@@ -122,7 +124,7 @@ pub fn estimate_channel(
         // no extra passes over the channel.
         for (sig, tap) in [(&comp_left, &tl), (&comp_right, &tr)] {
             if let Some(snr) = first_tap_snr_db(sig, tap.position) {
-                uniq_obs::metric("channel.first_tap_snr_db", snr, "dB");
+                uniq_obs::metric(uniq_obs::names::CHANNEL_FIRST_TAP_SNR_DB, snr, "dB");
             }
         }
     }

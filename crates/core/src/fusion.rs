@@ -181,7 +181,11 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
         match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
             Some(loc) => {
                 let stop_residual = angle_diff_deg(inp.alpha_deg, loc.theta_deg);
-                uniq_obs::metric("fusion.stop_residual_deg", stop_residual, "deg");
+                uniq_obs::metric(
+                    uniq_obs::names::FUSION_STOP_RESIDUAL_DEG,
+                    stop_residual,
+                    "deg",
+                );
                 residual_sum += stop_residual;
                 // Eq. 3: average the acoustic and inertial angles — along
                 // the shorter arc, so 359° and 1° blend to 0°, not 180°.
@@ -201,16 +205,20 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
             }
         }
     }
-    uniq_obs::metric("fusion.localized_stops", localized as f64, "");
+    uniq_obs::metric(
+        uniq_obs::names::FUSION_LOCALIZED_STOPS,
+        localized as f64,
+        "",
+    );
     if localized * 2 < inputs.len() {
         return None;
     }
     uniq_obs::metric(
-        "fusion.mean_residual_deg",
+        uniq_obs::names::FUSION_MEAN_RESIDUAL_DEG,
         residual_sum / localized as f64,
         "deg",
     );
-    uniq_obs::metric("fusion.objective", fit.fx, "deg^2");
+    uniq_obs::metric(uniq_obs::names::FUSION_OBJECTIVE, fit.fx, "deg^2");
 
     Some(FusionResult {
         head,

@@ -142,7 +142,8 @@ mod tests {
         );
         let angles: Vec<f64> = (0..=18).map(|k| k as f64 * 10.0).collect();
         PersonalHrtf::new(
-            r.near_field_bank(&angles, 0.4),
+            r.near_field_bank(&angles, 0.4)
+                .expect("test radius clears the head"),
             r.ground_truth_bank(&angles),
             head,
         )

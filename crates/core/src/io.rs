@@ -66,15 +66,17 @@ impl std::error::Error for ParseError {}
 pub fn to_string(hrtf: &PersonalHrtf) -> String {
     let mut out = String::new();
     let head = hrtf.head();
-    writeln!(out, "UNIQHRTF {FORMAT_VERSION}").unwrap();
-    writeln!(out, "sample_rate {}", hrtf.sample_rate()).unwrap();
-    writeln!(out, "head {} {} {}", head.a, head.b, head.c).unwrap();
-    writeln!(out, "ir_len {}", hrtf.near().irs()[0].len()).unwrap();
+    // `fmt::Write` into a String cannot fail; discard the Ok(()) rather
+    // than unwrap so this path is structurally panic-free.
+    let _ = writeln!(out, "UNIQHRTF {FORMAT_VERSION}");
+    let _ = writeln!(out, "sample_rate {}", hrtf.sample_rate());
+    let _ = writeln!(out, "head {} {} {}", head.a, head.b, head.c);
+    let _ = writeln!(out, "ir_len {}", hrtf.near().irs()[0].len());
     let dump = |out: &mut String, tag: &str, bank: &HrirBank| {
         for (angle, ir) in bank.angles().iter().zip(bank.irs()) {
-            write!(out, "{tag} {angle}").unwrap();
+            let _ = write!(out, "{tag} {angle}");
             for v in ir.left.iter().chain(&ir.right) {
-                write!(out, " {v}").unwrap();
+                let _ = write!(out, " {v}");
             }
             out.push('\n');
         }
@@ -221,7 +223,8 @@ mod tests {
         );
         let angles = [0.0, 45.0, 90.0, 135.0, 180.0];
         PersonalHrtf::new(
-            r.near_field_bank(&angles, 0.4),
+            r.near_field_bank(&angles, 0.4)
+                .expect("test radius clears the head"),
             r.ground_truth_bank(&angles),
             head,
         )

@@ -314,7 +314,9 @@ mod tests {
         let r = subject_renderer(head, &c);
         // Dense near-field measurements on the output grid.
         let grid = c.output_grid();
-        let near = r.near_field_bank(&grid, 0.4);
+        let near = r
+            .near_field_bank(&grid, 0.4)
+            .expect("test radius clears the head");
         let fusion = perfect_fusion(head);
         let far = convert(&near, &fusion, &c, 0.4);
         let truth = r.ground_truth_bank(&grid);
@@ -336,7 +338,9 @@ mod tests {
         let head = HeadParams::average_adult();
         let r = subject_renderer(head, &c);
         let grid = c.output_grid();
-        let near = r.near_field_bank(&grid, 0.4);
+        let near = r
+            .near_field_bank(&grid, 0.4)
+            .expect("test radius clears the head");
         let fusion = perfect_fusion(head);
         let far = convert(&near, &fusion, &c, 0.4);
         let truth = r.ground_truth_bank(&grid);
@@ -360,7 +364,9 @@ mod tests {
         let c = cfg();
         let head = HeadParams::average_adult();
         let r = subject_renderer(head, &c);
-        let near = r.near_field_bank(&c.output_grid(), 0.4);
+        let near = r
+            .near_field_bank(&c.output_grid(), 0.4)
+            .expect("test radius clears the head");
         let far = convert(&near, &perfect_fusion(head), &c, 0.4);
         assert_eq!(far.len(), c.output_grid().len());
     }

@@ -186,6 +186,7 @@ mod tests {
             c.render,
         );
         r.near_field_bank(angles, radius)
+            .expect("test radius clears the head")
     }
 
     #[test]
@@ -367,7 +368,9 @@ mod quality_tests {
             cfg.render,
         );
         let angles: Vec<f64> = (0..=12).map(|k| k as f64 * 15.0).collect();
-        let bank = r.near_field_bank(&angles, 0.4);
+        let bank = r
+            .near_field_bank(&angles, 0.4)
+            .expect("test radius clears the head");
         let fusion = FusionResult {
             head,
             stops: vec![],
@@ -398,7 +401,9 @@ mod quality_tests {
             cfg.render,
         );
         let angles: Vec<f64> = (0..=6).map(|k| k as f64 * 30.0).collect();
-        let bank = r.near_field_bank(&angles, 0.4);
+        let bank = r
+            .near_field_bank(&angles, 0.4)
+            .expect("test radius clears the head");
         // Misalign one HRIR by 20 samples: the diagnostic must notice.
         let mut pairs: Vec<(f64, BinauralIr)> = bank
             .angles()

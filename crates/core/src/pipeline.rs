@@ -84,9 +84,9 @@ pub fn personalize(
 
     // §4.6 gesture auto-correction.
     let radius = mean_radius(&fusion);
-    uniq_obs::metric("personalize.radius_m", radius, "m");
+    uniq_obs::metric(uniq_obs::names::PERSONALIZE_RADIUS_M, radius, "m");
     if radius < cfg.min_radius_m || fusion.mean_residual_deg > cfg.max_fusion_residual_deg {
-        uniq_obs::counter("gesture.rejected", 1);
+        uniq_obs::counter(uniq_obs::names::GESTURE_REJECTED, 1);
         return Err(PersonalizationError::GestureRejected {
             radius_m: radius,
             residual_deg: fusion.mean_residual_deg,
@@ -108,8 +108,16 @@ pub fn personalize(
         if !devs.is_empty() {
             let mean = devs.iter().sum::<f64>() / devs.len() as f64;
             let max = devs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            uniq_obs::metric("nearfield.interp_tap_dev_mean", mean, "samples");
-            uniq_obs::metric("nearfield.interp_tap_dev_max", max, "samples");
+            uniq_obs::metric(
+                uniq_obs::names::NEARFIELD_INTERP_TAP_DEV_MEAN,
+                mean,
+                "samples",
+            );
+            uniq_obs::metric(
+                uniq_obs::names::NEARFIELD_INTERP_TAP_DEV_MAX,
+                max,
+                "samples",
+            );
         }
     }
     let far = crate::nearfar::convert(&near, &fusion, cfg, radius);
@@ -144,12 +152,12 @@ pub fn personalize_with_retry(
         match personalize(subject, cfg, seed.wrapping_add(10_000 * attempt as u64)) {
             Ok(mut r) => {
                 r.attempts = attempt + 1;
-                uniq_obs::metric("personalize.attempts", r.attempts as f64, "");
+                uniq_obs::metric(uniq_obs::names::PERSONALIZE_ATTEMPTS, r.attempts as f64, "");
                 return Ok(r);
             }
             Err(e @ PersonalizationError::GestureRejected { .. }) => {
                 if attempt + 1 < max_attempts {
-                    uniq_obs::counter("gesture.retry", 1);
+                    uniq_obs::counter(uniq_obs::names::GESTURE_RETRY, 1);
                 }
                 last_err = e;
             }

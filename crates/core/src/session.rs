@@ -44,8 +44,10 @@ pub struct SessionData {
 /// A measurement session failure, carrying the identity of the stop that
 /// failed so batch callers can report *which* measurement went wrong
 /// rather than a generic error.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SessionError {
+    /// The configuration failed validation before any measurement ran.
+    Config(crate::config::ConfigError),
     /// Channel estimation failed at one measurement stop.
     Stop {
         /// Zero-based index of the failing stop along the sweep.
@@ -58,6 +60,7 @@ pub enum SessionError {
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SessionError::Config(error) => write!(f, "invalid configuration: {error}"),
             SessionError::Stop { stop, error } => {
                 write!(f, "measurement stop {stop}: {error}")
             }
@@ -68,6 +71,7 @@ impl std::fmt::Display for SessionError {
 impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            SessionError::Config(error) => Some(error),
             SessionError::Stop { error, .. } => Some(error),
         }
     }
@@ -83,15 +87,16 @@ impl std::error::Error for SessionError {
 /// and outputs are reduced in stop order.
 ///
 /// # Errors
-/// Returns [`SessionError::Stop`] if any stop's channel has no detectable
-/// taps (e.g. hopeless SNR). When several stops fail, the lowest-index
-/// stop is reported — the same one a sequential scan would hit first.
+/// Returns [`SessionError::Config`] if `cfg` fails validation, or
+/// [`SessionError::Stop`] if any stop's channel has no detectable taps
+/// (e.g. hopeless SNR). When several stops fail, the lowest-index stop
+/// is reported — the same one a sequential scan would hit first.
 pub fn run_session(
     subject: &Subject,
     cfg: &UniqConfig,
     seed: u64,
 ) -> Result<SessionData, SessionError> {
-    cfg.validate().expect("invalid UniqConfig");
+    cfg.validate().map_err(SessionError::Config)?;
     let _span = uniq_obs::span("session");
     let renderer = subject.renderer(cfg.render, FORWARD_RESOLUTION);
     let setup = if cfg.in_room {
@@ -134,6 +139,7 @@ pub fn run_session(
                 &probe,
                 seed.wrapping_add(100 + i as u64),
             )
+            // uniq-analyzer: allow(panic-safety) — stop positions come from the gesture sampler, which clamps every point outside the head boundary
             .expect("gesture trajectory stays outside the head");
             let channel = estimate_channel(&rec, &probe, &system_ir, cfg)
                 .map_err(|error| SessionError::Stop { stop: i, error })?;
@@ -146,7 +152,7 @@ pub fn run_session(
         })
     })?;
 
-    uniq_obs::metric("session.stops", out.len() as f64, "");
+    uniq_obs::metric(uniq_obs::names::SESSION_STOPS, out.len() as f64, "");
     Ok(SessionData {
         stops: out,
         system_ir,

@@ -51,13 +51,7 @@ pub fn find_peaks(signal: &[f64], threshold: f64, min_distance: usize) -> Vec<Pe
 
     // Greedy non-maximum suppression: keep strongest first.
     let mut by_strength: Vec<usize> = (0..raw.len()).collect();
-    by_strength.sort_by(|&a, &b| {
-        raw[b]
-            .value
-            .abs()
-            .partial_cmp(&raw[a].value.abs())
-            .expect("NaN peak")
-    });
+    by_strength.sort_by(|&a, &b| raw[b].value.abs().total_cmp(&raw[a].value.abs()));
     let mut keep = vec![false; raw.len()];
     for &cand in &by_strength {
         let ok = raw

@@ -27,7 +27,8 @@ pub fn median(xs: &[f64]) -> f64 {
 }
 
 /// The `p`-th percentile (`0..=100`) with linear interpolation between order
-/// statistics; 0 for an empty slice.
+/// statistics; 0 for an empty slice. NaN samples sort per
+/// [`f64::total_cmp`] (after every finite value).
 ///
 /// # Panics
 /// Panics if `p` is outside `[0, 100]`.
@@ -37,7 +38,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -74,13 +75,11 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds the ECDF of the given samples.
-    ///
-    /// # Panics
-    /// Panics if any sample is NaN.
+    /// Builds the ECDF of the given samples. NaN samples sort per
+    /// [`f64::total_cmp`] (after every finite value).
     pub fn new(samples: &[f64]) -> Self {
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 

@@ -33,7 +33,8 @@ pub fn xcorr_peak_lag(a: &[f64], b: &[f64]) -> (isize, f64) {
     let (idx, &val) = r
         .iter()
         .enumerate()
-        .max_by(|x, y| x.1.partial_cmp(y.1).expect("NaN in correlation"))
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        // uniq-analyzer: allow(panic-safety) — r is non-empty: checked three lines up
         .expect("non-empty");
     // Index b.len()-1 is zero lag; larger index means a leads b, i.e. b is
     // delayed by (idx - (b.len()-1)) samples *negatively*. We define the
@@ -53,7 +54,8 @@ pub fn xcorr_peak_lag_subsample(a: &[f64], b: &[f64]) -> f64 {
     let (idx, _) = r
         .iter()
         .enumerate()
-        .max_by(|x, y| x.1.partial_cmp(y.1).expect("NaN in correlation"))
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        // uniq-analyzer: allow(panic-safety) — r is non-empty: checked three lines up
         .expect("non-empty");
     let zero = b.len() as f64 - 1.0;
     if idx == 0 || idx + 1 >= r.len() {

@@ -72,6 +72,7 @@ impl ConvexPolygon {
 
     /// Perimeter length.
     pub fn perimeter(&self) -> f64 {
+        // uniq-analyzer: allow(panic-safety) — the constructor rejects polygons with fewer than 3 vertices, so cum is never empty
         *self.cum.last().expect("non-empty")
     }
 
@@ -191,7 +192,9 @@ impl ConvexPolygon {
                 }
             }
         }
-        let (length, t_idx, ccw) = best.expect("tangents exist");
+        // Two tangent candidates are always evaluated above, so `best`
+        // is necessarily `Some`; `?` keeps the path panic-free anyway.
+        let (length, t_idx, ccw) = best?;
         Some(PolyPath {
             length,
             wrap_angle: self.turning(t_idx, target_idx, ccw),

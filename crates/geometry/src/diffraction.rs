@@ -127,7 +127,11 @@ pub fn path_to_vertex(
             }
         }
     }
-    let (length, t_idx, ccw) = best.expect("two tangent candidates always exist");
+    // Both tangent candidates are evaluated unconditionally above, so
+    // `best` is necessarily `Some`; `?` keeps this path panic-free even
+    // if the loop were ever restructured (a panic here would kill a
+    // whole personalization batch).
+    let (length, t_idx, ccw) = best?;
 
     // Arrival direction: boundary tangent at the target, oriented along the
     // traversal direction of the final wrap step.

@@ -241,7 +241,9 @@ impl Vec3 {
 pub fn plane_itd_3d(head: &Head3, theta_deg: f64, elevation_deg: f64) -> f64 {
     const FAR: f64 = 100.0;
     let src = Vec3::from_angles(theta_deg, elevation_deg).scale(FAR);
+    // uniq-analyzer: allow(panic-safety) — the source sits 100 m out; no head model approaches that radius
     let l = path_to_ear_3d(head, src, Ear::Left).expect("far source outside head");
+    // uniq-analyzer: allow(panic-safety) — same 100 m far-field source as the line above
     let r = path_to_ear_3d(head, src, Ear::Right).expect("far source outside head");
     r.length - l.length
 }

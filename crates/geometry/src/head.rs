@@ -193,6 +193,7 @@ impl HeadBoundary {
 
     /// Total boundary perimeter.
     pub fn perimeter(&self) -> f64 {
+        // uniq-analyzer: allow(panic-safety) — HeadBoundary::new always discretizes to at least 8 vertices
         *self.cum.last().expect("non-empty cum")
     }
 
@@ -225,8 +226,9 @@ impl HeadBoundary {
         self.verts
             .iter()
             .enumerate()
-            .min_by(|(_, u), (_, v)| u.dist(p).partial_cmp(&v.dist(p)).expect("NaN distance"))
+            .min_by(|(_, u), (_, v)| u.dist(p).total_cmp(&v.dist(p)))
             .map(|(k, _)| k)
+            // uniq-analyzer: allow(panic-safety) — the boundary constructor guarantees at least 3 vertices
             .expect("non-empty boundary")
     }
 

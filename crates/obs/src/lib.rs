@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod names;
 pub mod report;
 pub mod sink;
 
@@ -181,6 +182,15 @@ pub struct ObsContext {
     depth: usize,
 }
 
+impl std::fmt::Debug for ObsContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsContext")
+            .field("has_sink", &self.sink.is_some())
+            .field("depth", &self.depth)
+            .finish()
+    }
+}
+
 /// Captures the calling thread's current sink and span depth. Cheap when
 /// no sink is installed.
 pub fn capture() -> ObsContext {
@@ -261,6 +271,14 @@ pub struct SpanGuard {
     live: Option<LiveSpan>,
 }
 
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.live.as_ref().map(|l| l.name))
+            .finish()
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
@@ -271,6 +289,40 @@ impl Drop for SpanGuard {
                 nanos: live.start.elapsed().as_nanos(),
             });
         }
+    }
+}
+
+/// A wall-clock stopwatch for timing that feeds observability.
+///
+/// Result-producing crates are barred from `std::time` by
+/// `uniq-analyzer`'s `wall-clock` rule: a time read in a compute path
+/// can silently steer results. Timing that only *describes* a run —
+/// per-subject seconds, throughput sweeps — goes through this type
+/// instead, which keeps the clock access inside `uniq-obs` where the
+/// rule (and a reviewer) can see that no timestamp flows back into
+/// numerics.
+///
+/// ```
+/// let sw = uniq_obs::Stopwatch::start();
+/// let secs = sw.elapsed_seconds();
+/// assert!(secs >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
     }
 }
 

@@ -1,0 +1,50 @@
+//! Canonical metric and counter names.
+//!
+//! Every metric or counter the pipeline emits is named here, once.
+//! Producers (`uniq-core` and friends) and consumers (reports,
+//! experiments, CI assertions) both reference these constants, so a
+//! renamed metric is a compile error on both sides instead of a silent
+//! dashboard gap. `uniq-analyzer`'s `obs-metric-name` rule enforces the
+//! discipline: an inline string literal passed to
+//! [`metric`](crate::metric)/[`counter`](crate::counter) outside this
+//! crate is a diagnostic.
+//!
+//! Naming scheme: `<stage>.<quantity>[_<unit>]`, dot-separated, all
+//! lowercase — matching the span names of the stages that emit them.
+
+/// Wall-clock seconds one subject's personalization took (histogram).
+pub const BATCH_SUBJECT_SECONDS: &str = "batch.subject_seconds";
+/// Subjects submitted to a batch run (counter).
+pub const BATCH_SUBJECTS: &str = "batch.subjects";
+/// Subjects whose personalization failed after retries (counter).
+pub const BATCH_FAILURES: &str = "batch.failures";
+
+/// SNR of the detected first tap during channel estimation, dB.
+pub const CHANNEL_FIRST_TAP_SNR_DB: &str = "channel.first_tap_snr_db";
+
+/// Per-stop localization residual against ground truth, degrees.
+pub const FUSION_STOP_RESIDUAL_DEG: &str = "fusion.stop_residual_deg";
+/// Number of stops the fusion localized (out of the sweep).
+pub const FUSION_LOCALIZED_STOPS: &str = "fusion.localized_stops";
+/// Mean localization residual over localized stops, degrees.
+pub const FUSION_MEAN_RESIDUAL_DEG: &str = "fusion.mean_residual_deg";
+/// Final fusion objective value, squared degrees.
+pub const FUSION_OBJECTIVE: &str = "fusion.objective";
+
+/// Estimated gesture radius, metres.
+pub const PERSONALIZE_RADIUS_M: &str = "personalize.radius_m";
+/// Personalization attempts consumed (1 = first try succeeded).
+pub const PERSONALIZE_ATTEMPTS: &str = "personalize.attempts";
+
+/// Gestures rejected by the radius sanity gate (counter).
+pub const GESTURE_REJECTED: &str = "gesture.rejected";
+/// Gesture retries after a rejected attempt (counter).
+pub const GESTURE_RETRY: &str = "gesture.retry";
+
+/// Mean absolute first-tap deviation of interpolated HRIRs, samples.
+pub const NEARFIELD_INTERP_TAP_DEV_MEAN: &str = "nearfield.interp_tap_dev_mean";
+/// Max absolute first-tap deviation of interpolated HRIRs, samples.
+pub const NEARFIELD_INTERP_TAP_DEV_MAX: &str = "nearfield.interp_tap_dev_max";
+
+/// Measurement stops accepted into a session.
+pub const SESSION_STOPS: &str = "session.stops";

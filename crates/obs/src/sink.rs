@@ -91,6 +91,7 @@ impl Sink for StderrSink {
 /// {"event":"span_end","name":"fusion","depth":1,"nanos":41233000}
 /// {"event":"metric","name":"fusion.residual_deg","value":3.42,"unit":"deg"}
 /// ```
+#[derive(Debug)]
 pub struct JsonLinesSink {
     out: Mutex<BufWriter<File>>,
 }
@@ -235,6 +236,14 @@ impl Sink for MemorySink {
 /// Fans every event out to several sinks, in order.
 pub struct MultiSink {
     sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for MultiSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 impl MultiSink {

@@ -99,7 +99,7 @@ pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: &NelderMeadOptio
 
     for it in 0..opts.max_iter {
         iterations = it + 1;
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN objective"));
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         // Convergence checks.
         let best = simplex[0].1;
@@ -176,7 +176,7 @@ pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: &NelderMeadOptio
         }
     }
 
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN objective"));
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     let (x, fx) = simplex.swap_remove(0);
     OptimResult {
         x,

@@ -110,6 +110,15 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("id", &self.id)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
 impl ThreadPool {
     /// Creates a pool with `threads` total parallelism (clamped to at
     /// least 1). `threads - 1` worker threads are spawned; the caller of

@@ -80,6 +80,12 @@ pub struct Scope<'env> {
     _env: PhantomData<&'env mut &'env ()>,
 }
 
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
 impl<'env> Scope<'env> {
     pub(crate) fn new(pool: &'env ThreadPool, state: Arc<ScopeState>) -> Scope<'env> {
         Scope {

@@ -121,13 +121,17 @@ mod tests {
         // paper's externalization goal.
         let truth_renderer = subject_renderer(800);
         let own = PersonalHrtf::new(
-            truth_renderer.near_field_bank(&[30.0, 50.0, 70.0], 0.4),
+            truth_renderer
+                .near_field_bank(&[30.0, 50.0, 70.0], 0.4)
+                .expect("0.4 m clears the head"),
             truth_renderer.ground_truth_bank(&[30.0, 50.0, 70.0]),
             HeadParams::average_adult(),
         );
         let other_renderer = subject_renderer(900);
         let other = PersonalHrtf::new(
-            other_renderer.near_field_bank(&[30.0, 50.0, 70.0], 0.4),
+            other_renderer
+                .near_field_bank(&[30.0, 50.0, 70.0], 0.4)
+                .expect("0.4 m clears the head"),
             other_renderer.ground_truth_bank(&[30.0, 50.0, 70.0]),
             HeadParams::average_adult(),
         );

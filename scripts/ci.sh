@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== uniq-analyzer (determinism / panic-safety / unsafe-audit) =="
+# Hard gate: exits nonzero on any unsuppressed error-severity finding.
+# JSON output keeps the failure machine-readable for tooling on top.
+cargo run -q -p uniq-analyzer -- check --format json
+
 echo "== cargo test (UNIQ_THREADS=1) =="
 UNIQ_THREADS=1 cargo test -q --workspace
 
