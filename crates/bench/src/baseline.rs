@@ -1,0 +1,650 @@
+//! Benchmark baselines: a pinned, deterministic workload matrix whose
+//! performance *and* quality numbers are checked into the repo as
+//! `BENCH_BASELINE.json`, plus the comparator that turns a fresh run
+//! into a CI verdict.
+//!
+//! The contract (enforced by `scripts/ci.sh` via the `baseline` binary):
+//!
+//! - **Quality drift is a hard failure.** Localization medians, AoA
+//!   error, HRIR similarity, and the batch output fingerprints are pure
+//!   functions of the pinned seeds; any relative drift beyond
+//!   [`DEFAULT_QUALITY_TOL`] (fingerprints: any drift at all) exits
+//!   non-zero.
+//! - **Performance drift is a warning** unless `--strict`: wall-clock
+//!   numbers depend on the machine, so the default tolerance
+//!   ([`DEFAULT_PERF_TOL`]) is generous and advisory.
+//!
+//! Refresh the checked-in file after an intentional change with
+//! `cargo run --release -p uniq-bench --bin baseline -- bless`.
+
+use std::sync::Arc;
+use uniq_core::batch::{hrtf_fingerprint, personalize_batch, BatchOutcome};
+use uniq_core::config::UniqConfig;
+use uniq_core::pipeline::{personalize_with_retry, PersonalizationResult};
+use uniq_dsp::stats::median;
+use uniq_geometry::vec2::angle_diff_deg;
+use uniq_obs::sink::{json_escape, json_number};
+use uniq_obs::Stopwatch;
+use uniq_profile::json::Json;
+use uniq_profile::ProfileSink;
+use uniq_subjects::Subject;
+
+/// Schema stamp on `BENCH_BASELINE.json` (bump on shape changes).
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// Default relative tolerance for quality numbers: tight, because they
+/// are deterministic functions of the seeds — the slack only absorbs
+/// float-environment differences, not behavior changes.
+pub const DEFAULT_QUALITY_TOL: f64 = 0.02;
+
+/// Default relative tolerance for performance numbers: wall time varies
+/// with the machine and its load, so only call out large swings.
+pub const DEFAULT_PERF_TOL: f64 = 0.5;
+
+/// The checked-in baseline file, relative to the workspace root.
+pub const BASELINE_FILE: &str = "BENCH_BASELINE.json";
+
+/// The pinned workload matrix. [`BaselineSpec::pinned`] is what CI and
+/// the checked-in baseline use; tests shrink it.
+#[derive(Debug, Clone)]
+pub struct BaselineSpec {
+    /// Seed of the single-subject personalization runs.
+    pub seed: u64,
+    /// Subjects (seeds `seed..seed+n`) in the batch runs.
+    pub batch_subjects: u64,
+    /// Pool sizes the batch and personalize runs are measured at.
+    pub thread_counts: Vec<usize>,
+    /// Output grid step, degrees (coarse: this is a regression gate, not
+    /// an evaluation).
+    pub grid_step_deg: f64,
+    /// Simulated measurement SNR, dB.
+    pub snr_db: f64,
+    /// Source angles of the known-source AoA sweep, degrees.
+    pub aoa_angles: Vec<f64>,
+    /// Angles where personalized HRIRs are correlated against the
+    /// subject's ground truth, degrees.
+    pub sim_angles: Vec<f64>,
+}
+
+impl BaselineSpec {
+    /// The workload matrix behind the checked-in `BENCH_BASELINE.json`.
+    pub fn pinned() -> Self {
+        BaselineSpec {
+            seed: 6,
+            batch_subjects: 4,
+            thread_counts: vec![1, 4],
+            grid_step_deg: 15.0,
+            snr_db: 45.0,
+            aoa_angles: vec![20.0, 60.0, 100.0, 140.0],
+            sim_angles: vec![0.0, 45.0, 90.0, 135.0, 180.0],
+        }
+    }
+
+    /// A minimal matrix for unit tests (single thread count, one batch
+    /// subject, short sweeps).
+    pub fn quick() -> Self {
+        BaselineSpec {
+            seed: 6,
+            batch_subjects: 1,
+            thread_counts: vec![1],
+            grid_step_deg: 15.0,
+            snr_db: 45.0,
+            aoa_angles: vec![60.0],
+            sim_angles: vec![90.0],
+        }
+    }
+
+    fn config(&self, threads: usize) -> UniqConfig {
+        UniqConfig {
+            in_room: false,
+            grid_step_deg: self.grid_step_deg,
+            snr_db: self.snr_db,
+            threads,
+            ..UniqConfig::default()
+        }
+    }
+}
+
+/// Wraps a single personalization result so
+/// [`uniq_core::batch::hrtf_fingerprint`] can digest it: every HRIR bit,
+/// localization estimate, and the radius fold into one number.
+fn result_fingerprint(seed: u64, result: &PersonalizationResult) -> u64 {
+    hrtf_fingerprint(&[BatchOutcome {
+        seed,
+        result: Ok(result.clone()),
+        seconds: 0.0,
+    }])
+}
+
+fn median_localization_error(result: &PersonalizationResult) -> (f64, f64) {
+    let errs: Vec<f64> = result
+        .localization
+        .iter()
+        .map(|(t, e)| angle_diff_deg(*t, *e))
+        .collect();
+    (median(&errs), uniq_dsp::stats::percentile(&errs, 90.0))
+}
+
+/// Known-source AoA error sweep over the personalized table.
+fn aoa_errors(result: &PersonalizationResult, spec: &BaselineSpec, cfg: &UniqConfig) -> Vec<f64> {
+    let table = &result.hrtf;
+    spec.aoa_angles
+        .iter()
+        .map(|&theta| {
+            let sig = uniq_acoustics::signals::generate(
+                uniq_acoustics::signals::SignalKind::WhiteNoise,
+                0.4,
+                table.sample_rate(),
+                spec.seed,
+            );
+            let rendered = table.synthesize(&sig, theta, true);
+            let rec = uniq_acoustics::measure::BinauralRecording {
+                left: rendered.left,
+                right: rendered.right,
+            };
+            let est = uniq_core::aoa::estimate_known_source(&rec, &sig, table.far(), cfg);
+            angle_diff_deg(est, theta)
+        })
+        .collect()
+}
+
+/// Mean peak-normalized correlation between the personalized far-field
+/// HRIRs and the subject's ground truth at the spec's angles (both ears
+/// averaged).
+fn hrir_similarity(
+    subject: &Subject,
+    result: &PersonalizationResult,
+    spec: &BaselineSpec,
+    cfg: &UniqConfig,
+) -> f64 {
+    let truth = subject.ground_truth(cfg.render, &spec.sim_angles);
+    let mut sum = 0.0;
+    for (k, &angle) in spec.sim_angles.iter().enumerate() {
+        let est = result.hrtf.far().nearest(angle).0;
+        let (l, r) = est.similarity(&truth.irs()[k]);
+        sum += (l + r) / 2.0;
+    }
+    sum / spec.sim_angles.len() as f64
+}
+
+/// Runs the workload matrix and renders the baseline document. Quality
+/// numbers are pure functions of the spec's seeds; perf numbers are
+/// wall-clock measurements of this machine.
+pub fn run_baseline(spec: &BaselineSpec) -> String {
+    let mut quality: Vec<(String, String)> = Vec::new();
+    let mut perf: Vec<(String, String)> = Vec::new();
+
+    // --- personalize at each pool size, the first under the profiler.
+    let subject = Subject::from_seed(spec.seed);
+    let mut first_result: Option<PersonalizationResult> = None;
+    let mut stages_json = String::from("[]");
+    let mut fingerprints = Vec::new();
+    for (i, &threads) in spec.thread_counts.iter().enumerate() {
+        let cfg = spec.config(threads);
+        let sw = Stopwatch::start();
+        let result = if i == 0 {
+            let profile = Arc::new(ProfileSink::new());
+            let result = uniq_obs::with_sink(profile.clone(), || {
+                personalize_with_retry(&subject, &cfg, spec.seed, 3)
+            })
+            .expect("baseline personalize failed");
+            let report = profile.report();
+            stages_json = format!(
+                "[{}]",
+                report
+                    .stages
+                    .iter()
+                    .map(|s| format!(
+                        "{{\"name\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                        json_escape(&s.name),
+                        s.count,
+                        s.p50_nanos,
+                        s.p99_nanos
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            result
+        } else {
+            personalize_with_retry(&subject, &cfg, spec.seed, 3)
+                .expect("baseline personalize failed")
+        };
+        perf.push((
+            format!("personalize_seconds_t{threads}"),
+            json_number(sw.elapsed_seconds()),
+        ));
+        fingerprints.push(result_fingerprint(spec.seed, &result));
+        if first_result.is_none() {
+            first_result = Some(result);
+        }
+    }
+    // uniq-analyzer: allow(panic-safety) — thread_counts is never empty, so the loop above ran at least once
+    let result = first_result.expect("at least one thread count");
+    let deterministic = fingerprints.iter().all(|&f| f == fingerprints[0]);
+    quality.push((
+        "personalize_fingerprint".into(),
+        format!("\"{:#018x}\"", fingerprints[0]),
+    ));
+    quality.push((
+        "personalize_thread_invariant".into(),
+        deterministic.to_string(),
+    ));
+
+    let (loc_median, loc_p90) = median_localization_error(&result);
+    quality.push(("localization_median_deg".into(), json_number(loc_median)));
+    quality.push(("localization_p90_deg".into(), json_number(loc_p90)));
+    quality.push((
+        "fusion_mean_residual_deg".into(),
+        json_number(result.fusion.mean_residual_deg),
+    ));
+    quality.push(("radius_m".into(), json_number(result.radius_m)));
+    quality.push(("attempts".into(), result.attempts.to_string()));
+
+    let cfg_eval = spec.config(1);
+    let aoa = aoa_errors(&result, spec, &cfg_eval);
+    quality.push(("aoa_known_median_deg".into(), json_number(median(&aoa))));
+    quality.push((
+        "hrir_similarity_mean".into(),
+        json_number(hrir_similarity(&subject, &result, spec, &cfg_eval)),
+    ));
+
+    // --- batch throughput and output fingerprint per pool size.
+    let seeds: Vec<u64> = (0..spec.batch_subjects)
+        .map(|i| spec.seed.wrapping_add(i))
+        .collect();
+    let batch_cfg = spec.config(1); // subject-level parallelism only
+    for &threads in &spec.thread_counts {
+        let sw = Stopwatch::start();
+        let outcomes = personalize_batch(&seeds, &batch_cfg, threads, 3);
+        let secs = sw.elapsed_seconds();
+        perf.push((
+            format!("batch_subjects_per_second_t{threads}"),
+            json_number(outcomes.len() as f64 / secs.max(1e-12)),
+        ));
+        quality.push((
+            format!("batch_fingerprint_t{threads}"),
+            format!("\"{:#018x}\"", hrtf_fingerprint(&outcomes)),
+        ));
+    }
+
+    let fields = |pairs: &[(String, String)]| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {}", json_escape(k), v))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    format!(
+        "{{\n  \"schema_version\": {BASELINE_SCHEMA_VERSION},\n  \"meta\": {{\n    \
+         \"seed\": {},\n    \"batch_subjects\": {},\n    \"thread_counts\": [{}],\n    \
+         \"grid_step_deg\": {},\n    \"snr_db\": {},\n    \"build\": \"{}\"\n  }},\n  \
+         \"quality\": {{\n{}\n  }},\n  \"perf\": {{\n{},\n    \"stages\": {}\n  }}\n}}\n",
+        spec.seed,
+        spec.batch_subjects,
+        spec.thread_counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        json_number(spec.grid_step_deg),
+        json_number(spec.snr_db),
+        json_escape(&crate::build_id()),
+        fields(&quality),
+        fields(&perf),
+        stages_json,
+    )
+}
+
+/// The comparator's verdict: hard failures (quality) and advisory
+/// warnings (performance).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CompareReport {
+    /// Quality regressions — any entry fails CI.
+    pub quality_failures: Vec<String>,
+    /// Performance swings — advisory unless `--strict`.
+    pub perf_warnings: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the comparison passes at the given strictness.
+    pub fn passes(&self, strict: bool) -> bool {
+        self.quality_failures.is_empty() && (!strict || self.perf_warnings.is_empty())
+    }
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Compares every `section` member of `fresh` against `baseline`:
+/// numbers by relative difference against `tol`, everything else
+/// (strings, booleans) exactly. Missing members are always findings.
+fn compare_section(
+    baseline: &Json,
+    fresh: &Json,
+    section: &str,
+    tol: f64,
+    findings: &mut Vec<String>,
+) {
+    let Some(members) = baseline.as_object() else {
+        findings.push(format!("baseline {section} is not an object"));
+        return;
+    };
+    for (key, expected) in members {
+        if key == "stages" {
+            continue; // handled by compare_stages
+        }
+        let Some(got) = fresh.get(key) else {
+            findings.push(format!("{section}.{key}: missing from fresh run"));
+            continue;
+        };
+        match (expected, got) {
+            (Json::Num(e), Json::Num(g)) => {
+                let d = rel_diff(*e, *g);
+                if d > tol {
+                    findings.push(format!(
+                        "{section}.{key}: baseline {e} vs fresh {g} (relative diff {d:.3} > {tol})"
+                    ));
+                }
+            }
+            (e, g) if e == g => {}
+            (e, g) => findings.push(format!("{section}.{key}: baseline {e:?} vs fresh {g:?}")),
+        }
+    }
+}
+
+fn compare_stages(baseline: &Json, fresh: &Json, tol: f64, report: &mut CompareReport) {
+    let base_stages = baseline
+        .get("stages")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    let fresh_stages = fresh.get("stages").and_then(Json::as_array).unwrap_or(&[]);
+    for stage in base_stages {
+        let Some(name) = stage.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(other) = fresh_stages
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            // A stage that vanished is an instrumentation regression,
+            // not a timing swing.
+            report
+                .quality_failures
+                .push(format!("perf.stages.{name}: missing from fresh run"));
+            continue;
+        };
+        for field in ["p50_ns", "p99_ns"] {
+            let (Some(e), Some(g)) = (
+                stage.get(field).and_then(Json::as_f64),
+                other.get(field).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let d = rel_diff(e, g);
+            if d > tol {
+                report.perf_warnings.push(format!(
+                    "perf.stages.{name}.{field}: baseline {e} vs fresh {g} \
+                     (relative diff {d:.3} > {tol})"
+                ));
+            }
+        }
+    }
+}
+
+/// Diffs a fresh baseline document against the checked-in one. Returns
+/// `Err` only for structural problems (unparseable document, schema
+/// mismatch) — those are hard failures too.
+pub fn compare(
+    baseline: &Json,
+    fresh: &Json,
+    quality_tol: f64,
+    perf_tol: f64,
+) -> Result<CompareReport, String> {
+    let version = |doc: &Json, which: &str| {
+        doc.get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{which} document has no schema_version"))
+    };
+    let (b, f) = (version(baseline, "baseline")?, version(fresh, "fresh")?);
+    if b != f {
+        return Err(format!("schema mismatch: baseline v{b} vs fresh v{f}"));
+    }
+    let section = |doc: &Json, name: &str, which: &str| {
+        doc.get(name)
+            .cloned()
+            .ok_or(format!("{which} document has no {name:?} section"))
+    };
+    let mut report = CompareReport::default();
+    compare_section(
+        &section(baseline, "quality", "baseline")?,
+        &section(fresh, "quality", "fresh")?,
+        "quality",
+        quality_tol,
+        &mut report.quality_failures,
+    );
+    let base_perf = section(baseline, "perf", "baseline")?;
+    let fresh_perf = section(fresh, "perf", "fresh")?;
+    compare_section(
+        &base_perf,
+        &fresh_perf,
+        "perf",
+        perf_tol,
+        &mut report.perf_warnings,
+    );
+    compare_stages(&base_perf, &fresh_perf, perf_tol, &mut report);
+    Ok(report)
+}
+
+/// Whether two baseline documents carry bit-identical quality sections
+/// (the CI determinism check: two runs of the pinned workload must
+/// agree exactly).
+pub fn quality_identical(a: &Json, b: &Json) -> bool {
+    match (a.get("quality"), b.get("quality")) {
+        (Some(qa), Some(qb)) => qa == qb,
+        _ => false,
+    }
+}
+
+/// Validates a `--profile-out` JSON document: parseable, schema-stamped,
+/// and covering every pipeline stage. Returns the covered stage names.
+pub fn verify_profile(text: &str) -> Result<Vec<String>, String> {
+    let doc = Json::parse(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("profile has no schema_version")?;
+    if version != uniq_profile::PROFILE_SCHEMA_VERSION {
+        return Err(format!("unsupported profile schema v{version}"));
+    }
+    let stages: Vec<String> = doc
+        .get("stages")
+        .and_then(Json::as_array)
+        .ok_or("profile has no stages array")?
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str).map(String::from))
+        .collect();
+    for required in uniq_obs::names::PIPELINE_STAGES {
+        if !stages.iter().any(|s| s == required) {
+            return Err(format!("pipeline stage {required:?} missing from profile"));
+        }
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but fully-shaped baseline document for comparator tests —
+    /// no workload run needed.
+    fn doc(loc_median: f64, fingerprint: &str, p50: u64, secs: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema_version": {BASELINE_SCHEMA_VERSION},
+              "meta": {{"seed": 6}},
+              "quality": {{
+                "localization_median_deg": {loc_median},
+                "attempts": 1,
+                "personalize_thread_invariant": true,
+                "batch_fingerprint_t1": "{fingerprint}"
+              }},
+              "perf": {{
+                "personalize_seconds_t1": {secs},
+                "stages": [{{"name": "personalize", "count": 1, "p50_ns": {p50}, "p99_ns": {p50}}}]
+              }}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_compare_clean() {
+        let a = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let r = compare(&a, &a, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r, CompareReport::default());
+        assert!(r.passes(true));
+        assert!(quality_identical(&a, &a));
+    }
+
+    #[test]
+    fn quality_drift_is_a_hard_failure() {
+        let base = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let fresh = doc(6.0, "0xdeadbeef", 1_000_000, 1.0);
+        let r = compare(&base, &fresh, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r.quality_failures.len(), 1, "{r:?}");
+        assert!(r.quality_failures[0].contains("localization_median_deg"));
+        assert!(!r.passes(false));
+        assert!(!quality_identical(&base, &fresh));
+    }
+
+    #[test]
+    fn doctored_fingerprint_fails_despite_tolerance() {
+        let base = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let fresh = doc(4.8, "0xdeadbeee", 1_000_000, 1.0);
+        let r = compare(&base, &fresh, 1.0, 1.0).unwrap();
+        assert!(
+            r.quality_failures.iter().any(|f| f.contains("fingerprint")),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn perf_drift_warns_but_passes_unless_strict() {
+        let base = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let fresh = doc(4.8, "0xdeadbeef", 4_000_000, 4.0);
+        let r = compare(&base, &fresh, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(r.quality_failures.is_empty(), "{r:?}");
+        assert_eq!(r.perf_warnings.len(), 3, "{r:?}"); // seconds + stage p50/p99
+        assert!(r.passes(false));
+        assert!(!r.passes(true));
+        // Perf drift never breaks quality identity.
+        assert!(quality_identical(&base, &fresh));
+    }
+
+    #[test]
+    fn missing_quality_key_and_stage_fail() {
+        let base = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let mut fresh = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        // Drop a quality member and empty the stage list.
+        if let Json::Obj(members) = &mut fresh {
+            for (k, v) in members.iter_mut() {
+                if k == "quality" {
+                    if let Json::Obj(q) = v {
+                        q.retain(|(key, _)| key != "attempts");
+                    }
+                }
+                if k == "perf" {
+                    if let Json::Obj(p) = v {
+                        for (pk, pv) in p.iter_mut() {
+                            if pk == "stages" {
+                                *pv = Json::Arr(Vec::new());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let r = compare(&base, &fresh, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(
+            r.quality_failures.iter().any(|f| f.contains("attempts")),
+            "{r:?}"
+        );
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("stages.personalize")),
+            "vanished stage not flagged: {r:?}"
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_structural_error() {
+        let a = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let b = Json::parse(r#"{"schema_version": 99, "quality": {}, "perf": {}}"#).unwrap();
+        assert!(compare(&a, &b, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn verify_profile_requires_stage_coverage() {
+        let ok = format!(
+            r#"{{"schema_version": 1, "stages": [{}]}}"#,
+            uniq_obs::names::PIPELINE_STAGES
+                .iter()
+                .map(|s| format!(r#"{{"name": "{s}"}}"#))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(verify_profile(&ok).is_ok());
+
+        let missing = r#"{"schema_version": 1, "stages": [{"name": "personalize"}]}"#;
+        let err = verify_profile(missing).unwrap_err();
+        assert!(err.contains("missing from profile"), "{err}");
+        assert!(verify_profile("{}").is_err());
+        assert!(verify_profile("not json").is_err());
+    }
+
+    #[test]
+    fn quick_workload_emits_complete_and_deterministic_quality() {
+        // The real thing, smallest possible: document parses, carries
+        // every advertised section, and its quality half is bit-identical
+        // across two runs in the same process.
+        let spec = BaselineSpec::quick();
+        let a = Json::parse(&run_baseline(&spec)).expect("baseline emits valid JSON");
+        let b = Json::parse(&run_baseline(&spec)).unwrap();
+        assert!(quality_identical(&a, &b), "quality not deterministic");
+
+        let quality = a.get("quality").unwrap();
+        for key in [
+            "localization_median_deg",
+            "aoa_known_median_deg",
+            "hrir_similarity_mean",
+            "personalize_fingerprint",
+            "batch_fingerprint_t1",
+        ] {
+            assert!(quality.get(key).is_some(), "quality missing {key}");
+        }
+        assert_eq!(
+            quality.get("personalize_thread_invariant").unwrap(),
+            &Json::Bool(true)
+        );
+        // Stage profile covers the pipeline (subset check: quick() runs
+        // the full personalize pipeline).
+        let stages: Vec<&str> = a
+            .get("perf")
+            .unwrap()
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        for required in uniq_obs::names::PIPELINE_STAGES {
+            assert!(stages.contains(required), "stage {required} missing");
+        }
+        // And compare() agrees the two runs match.
+        let r = compare(&a, &b, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(r.quality_failures.is_empty(), "{r:?}");
+    }
+}

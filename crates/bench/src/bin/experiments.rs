@@ -9,7 +9,7 @@
 //! every executed target.
 
 use uniq_bench::experiments::*;
-use uniq_bench::timings::TimingLog;
+use uniq_bench::timings::{TimingLog, TimingMeta};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +33,8 @@ fn main() {
 
     println!("UNIQ evaluation reproduction — results land in bench_results/");
     let mut timings = TimingLog::new();
+    // Cohort seeds start at 5000 (see cohort::run_cohort).
+    timings.set_meta(TimingMeta::current(5000));
     for t in targets {
         match t {
             "fig2" => {

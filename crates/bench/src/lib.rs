@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod cohort;
 pub mod csv;
 pub mod experiments;
@@ -24,3 +25,18 @@ pub mod timings;
 
 /// Output directory for CSV artifacts (relative to the workspace root).
 pub const RESULTS_DIR: &str = "bench_results";
+
+/// Build identifier stamped into result files: crate version plus the
+/// debug/release flavor. Derived entirely from the binary — no git
+/// invocation — so results generated from a tarball carry it too.
+pub fn build_id() -> String {
+    format!(
+        "{}-{}",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    )
+}

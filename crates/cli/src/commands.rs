@@ -8,6 +8,7 @@ use uniq_core::config::UniqConfig;
 use uniq_core::pipeline::personalize_with_retry;
 use uniq_obs::report::Report;
 use uniq_obs::sink::{JsonLinesSink, MemorySink, MultiSink, Sink, StderrSink};
+use uniq_profile::ProfileSink;
 use uniq_subjects::Subject;
 
 /// Runs a parsed command; returns a human-readable report or an error
@@ -18,10 +19,21 @@ use uniq_subjects::Subject;
 /// observability event as JSON lines. Both observe the same run — neither
 /// changes the pipeline's numeric output.
 pub fn run(args: &Args) -> Result<String, String> {
+    run_observed(args, None)
+}
+
+/// Runs `args` under the requested observability sinks plus an optional
+/// `extra` sink (the profiler). One shared assembly point so `uniq
+/// profile <command> --trace --metrics-out F` composes instead of the
+/// inner scope shadowing the profiler (innermost sink wins in uniq-obs).
+fn run_observed(args: &Args, extra: Option<Arc<dyn Sink>>) -> Result<String, String> {
     let trace = args.switch("trace");
     let metrics_out = args.get("metrics-out");
     if !trace && metrics_out.is_none() {
-        return dispatch(args);
+        return match extra {
+            Some(sink) => uniq_obs::with_sink(sink, || dispatch(args)),
+            None => dispatch(args),
+        };
     }
 
     let memory = Arc::new(MemorySink::new());
@@ -34,11 +46,43 @@ pub fn run(args: &Args) -> Result<String, String> {
             .map_err(|e| format!("cannot create {path}: {e}"))?;
         sinks.push(Arc::new(sink));
     }
-    let result = uniq_obs::with_sink(Arc::new(MultiSink::new(sinks)), || dispatch(args));
+    sinks.extend(extra);
+    let multi = Arc::new(MultiSink::new(sinks));
+    let result = uniq_obs::with_sink(multi.clone(), || dispatch(args));
+    // Push buffered sinks (JSON lines) to disk even on error paths.
+    multi.flush();
     if trace {
         eprintln!("\n{}", Report::from_events(&memory.events()));
     }
     result
+}
+
+/// `uniq profile <command> …`: runs any subcommand under a
+/// [`ProfileSink`] and appends the per-stage latency table to the
+/// command's own output. `--profile-out FILE` additionally writes the
+/// machine-readable JSON report, `--flame-out FILE` the collapsed-stack
+/// lines (flamegraph input). Both files are written even when the
+/// profiled command fails — the profile of a failed run is evidence.
+///
+/// Profiling observes the exact same run the bare command would execute:
+/// the numeric output is bit-identical (asserted by the workspace
+/// `profiling` integration test).
+pub fn run_profile(args: &Args) -> Result<String, String> {
+    let profile = Arc::new(ProfileSink::new());
+    let result = run_observed(args, Some(profile.clone()));
+    let report = profile.report();
+    if let Some(path) = args.get("profile-out") {
+        std::fs::write(Path::new(path), report.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = args.get("flame-out") {
+        std::fs::write(Path::new(path), report.collapsed_stacks())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    match result {
+        Ok(output) => Ok(format!("{output}\n\n{}", report.render_table())),
+        Err(e) => Err(e),
+    }
 }
 
 fn dispatch(args: &Args) -> Result<String, String> {
@@ -75,7 +119,14 @@ pub fn usage() -> String {
      \n\
      observability (any command):\n\
      \x20 --trace            live span tree on stderr + end-of-run stage summary\n\
-     \x20 --metrics-out FILE write spans/metrics/counters as JSON lines\n"
+     \x20 --metrics-out FILE write spans/metrics/counters as JSON lines\n\
+     \n\
+     profiling:\n\
+     \x20 profile <command> [args...] [--profile-out FILE] [--flame-out FILE]\n\
+     \x20     run any command under the profiler; prints a per-stage latency\n\
+     \x20     table (count/total/p50/p90/p99/max, per-thread attribution) and\n\
+     \x20     optionally writes JSON (--profile-out) and collapsed-stack\n\
+     \x20     flamegraph lines (--flame-out)\n"
         .to_string()
 }
 
@@ -427,6 +478,81 @@ mod tests {
         assert!(content.contains("\"deterministic\": true"));
         assert!(content.contains("\"threads\": 1"));
         assert!(content.contains("\"threads\": 2"));
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn profile_wraps_personalize_and_exports() {
+        let table = temp_path("prof.uniqhrtf");
+        let json = temp_path("prof.json");
+        let flame = temp_path("prof.folded");
+        let out = run_profile(&argv(&format!(
+            "personalize --seed 6 --out {} --anechoic --grid 15 --profile-out {} --flame-out {}",
+            table.display(),
+            json.display(),
+            flame.display()
+        )))
+        .expect("profiled personalize");
+        assert!(out.contains("table written"), "command output lost: {out}");
+        assert!(out.contains("per-stage wall clock:"), "no table: {out}");
+        for col in ["count", "p50", "p90", "p99", "threads:"] {
+            assert!(out.contains(col), "missing {col:?} in:\n{out}");
+        }
+
+        // The JSON export parses with our own reader and covers every
+        // pipeline stage.
+        let doc =
+            uniq_profile::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let stages: Vec<&str> = doc
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for required in uniq_obs::names::PIPELINE_STAGES {
+            assert!(
+                stages.contains(required),
+                "stage {required} missing: {stages:?}"
+            );
+        }
+
+        // Collapsed-stack lines: `span;child;leaf self_nanos`.
+        let folded = std::fs::read_to_string(&flame).unwrap();
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (path, value) = line.rsplit_once(' ').expect("line has no value");
+            assert!(
+                path.split(';').all(|seg| !seg.is_empty()),
+                "bad path {path:?}"
+            );
+            value.parse::<u64>().expect("self time not an integer");
+        }
+        assert!(
+            folded.lines().any(|l| l.starts_with("personalize;")),
+            "no nested path under personalize:\n{folded}"
+        );
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&flame).ok();
+    }
+
+    #[test]
+    fn profile_of_failed_command_still_writes_report() {
+        let json = temp_path("prof_fail.json");
+        // personalize without --out fails; the profile file must exist
+        // and parse anyway.
+        let err = run_profile(&argv(&format!(
+            "personalize --seed 6 --profile-out {}",
+            json.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("out"), "unexpected error: {err}");
+        let doc =
+            uniq_profile::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(doc.get("schema_version").is_some());
         std::fs::remove_file(&json).ok();
     }
 

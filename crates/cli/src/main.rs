@@ -7,14 +7,35 @@ use uniq_cli::commands;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(&raw, &["anechoic", "near", "trace"]) {
+    // `profile` wraps another command (`uniq profile personalize …`), so
+    // it is peeled off before Args::parse, which allows exactly one
+    // positional.
+    let (profiled, rest) = match raw.first().map(String::as_str) {
+        Some("profile") => (true, &raw[1..]),
+        _ => (false, &raw[..]),
+    };
+    if profiled && rest.is_empty() {
+        eprintln!(
+            "error: profile needs a command to run\n\n{}",
+            commands::usage()
+        );
+        std::process::exit(2);
+    }
+    let parsed = match Args::parse(rest, &["anechoic", "near", "trace"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::usage());
             std::process::exit(2);
         }
     };
-    match commands::run(&parsed) {
+    let result = if profiled {
+        commands::run_profile(&parsed)
+    } else {
+        commands::run(&parsed)
+    };
+    // Buffered sinks installed process-wide must not lose their tail.
+    uniq_obs::flush_global_sink();
+    match result {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");

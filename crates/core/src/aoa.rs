@@ -69,7 +69,7 @@ pub fn estimate_known_source(
     bank: &HrirBank,
     cfg: &UniqConfig,
 ) -> f64 {
-    let _span = uniq_obs::span("aoa.known");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_AOA_KNOWN);
     // Ear channels by deconvolution with the known source (batched across
     // the pool; same arithmetic as two sequential calls).
     let pool = uniq_par::pool(cfg.threads);
@@ -127,7 +127,7 @@ pub fn estimate_unknown_source(
     bank: &HrirBank,
     cfg: &UniqConfig,
 ) -> f64 {
-    let _span = uniq_obs::span("aoa.unknown");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_AOA_UNKNOWN);
     // Relative channel between the ears: cross-correlation peaks give
     // candidate TDoAs (Fig 14: multiple peaks due to pinna multipath).
     let window = 16_384.min(recording.left.len());

@@ -38,7 +38,7 @@ pub fn personalize_batch(
     threads: usize,
     max_attempts: usize,
 ) -> Vec<BatchOutcome> {
-    let _span = uniq_obs::span("batch");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_BATCH);
     let pool = uniq_par::pool(threads);
     let ctx = uniq_obs::capture();
     let outcomes = pool.par_map_chunked(seeds, 1, |&seed| {

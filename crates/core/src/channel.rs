@@ -93,7 +93,7 @@ pub fn estimate_channel(
     system_ir: &[f64],
     cfg: &UniqConfig,
 ) -> Result<EstimatedChannel, ChannelError> {
-    let _span = uniq_obs::span("channel.estimate");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_CHANNEL_ESTIMATE);
     // The two ears deconvolve independently; batch them through the pool
     // (same arithmetic as two sequential `wiener_deconvolve` calls, so the
     // result is bit-identical at any thread count).

@@ -155,7 +155,7 @@ fn fusion_objective(e: &[f64], inputs: &[FusionInput], resolution: usize) -> f64
 /// a hopeless measurement set.
 pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
     assert!(inputs.len() >= 4, "fusion needs at least 4 stops");
-    let _span = uniq_obs::span("fusion");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_FUSION);
     let resolution = cfg.inverse_resolution;
     let objective = |e: &[f64]| fusion_objective(e, inputs, resolution);
 

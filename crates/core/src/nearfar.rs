@@ -29,7 +29,7 @@ use uniq_geometry::{Ear, HeadBoundary};
 /// `radius` is the (estimated) trajectory radius the near-field bank was
 /// measured at.
 pub fn convert(near: &HrirBank, fusion: &FusionResult, cfg: &UniqConfig, radius: f64) -> HrirBank {
-    let _span = uniq_obs::span("nearfar.convert");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_NEARFAR_CONVERT);
     let boundary = HeadBoundary::new(fusion.head, cfg.inverse_resolution);
     let grid = cfg.output_grid();
     let sr = cfg.render.sample_rate;

@@ -29,7 +29,7 @@ pub fn assemble_discrete(
     fusion: &FusionResult,
     cfg: &UniqConfig,
 ) -> HrirBank {
-    let _span = uniq_obs::span("nearfield.assemble");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_NEARFIELD_ASSEMBLE);
     let mut pairs: Vec<(f64, BinauralIr)> = Vec::new();
     for (stop, (&theta, loc)) in session
         .stops
@@ -71,7 +71,7 @@ pub fn interpolate(
     cfg: &UniqConfig,
     radius: f64,
 ) -> HrirBank {
-    let _span = uniq_obs::span("nearfield.interpolate");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_NEARFIELD_INTERPOLATE);
     let boundary = HeadBoundary::new(fusion.head, cfg.inverse_resolution);
     let angles = discrete.angles();
     let grid = cfg.output_grid();

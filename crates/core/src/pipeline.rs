@@ -77,7 +77,7 @@ pub fn personalize(
 ) -> Result<PersonalizationResult, PersonalizationError> {
     cfg.validate()
         .map_err(PersonalizationError::InvalidConfig)?;
-    let _span = uniq_obs::span("personalize");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_PERSONALIZE);
     let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Session)?;
     let inputs = session_to_inputs(&session, cfg);
     let fusion = fuse(&inputs, cfg).ok_or(PersonalizationError::FusionFailed)?;

@@ -97,7 +97,7 @@ pub fn run_session(
     seed: u64,
 ) -> Result<SessionData, SessionError> {
     cfg.validate().map_err(SessionError::Config)?;
-    let _span = uniq_obs::span("session");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_SESSION);
     let renderer = subject.renderer(cfg.render, FORWARD_RESOLUTION);
     let setup = if cfg.in_room {
         MeasurementSetup::home(cfg.render.sample_rate, cfg.snr_db)

@@ -136,6 +136,16 @@ pub fn set_global_sink(sink: Arc<dyn Sink>) -> bool {
     installed
 }
 
+/// Flushes the process-wide sink, if one is installed. A global sink
+/// lives in a `OnceLock` and is never dropped, so buffered sinks (e.g.
+/// [`sink::JsonLinesSink`]) would otherwise lose their tail at process
+/// exit; long-lived entry points call this on their way out.
+pub fn flush_global_sink() {
+    if let Some(sink) = GLOBAL_SINK.get() {
+        sink.flush();
+    }
+}
+
 /// Runs `f` with `sink` receiving this thread's events, restoring the
 /// previous state afterwards (exception safe). Scopes nest; the innermost
 /// sink receives the events.

@@ -48,3 +48,112 @@ pub const NEARFIELD_INTERP_TAP_DEV_MAX: &str = "nearfield.interp_tap_dev_max";
 
 /// Measurement stops accepted into a session.
 pub const SESSION_STOPS: &str = "session.stops";
+
+/// Every metric/counter name the workspace may emit. The workspace-level
+/// `every_emitted_name_is_registered` test runs a full pipeline under a
+/// `MemorySink` and asserts the emitted set is a subset of this list, so
+/// a new metric cannot silently bypass the registry (and with it the
+/// analyzer's `obs-metric-name` rule, which only sees *literal* names).
+pub const ALL_METRICS: &[&str] = &[
+    BATCH_SUBJECT_SECONDS,
+    BATCH_SUBJECTS,
+    BATCH_FAILURES,
+    CHANNEL_FIRST_TAP_SNR_DB,
+    FUSION_STOP_RESIDUAL_DEG,
+    FUSION_LOCALIZED_STOPS,
+    FUSION_MEAN_RESIDUAL_DEG,
+    FUSION_OBJECTIVE,
+    PERSONALIZE_RADIUS_M,
+    PERSONALIZE_ATTEMPTS,
+    GESTURE_REJECTED,
+    GESTURE_RETRY,
+    NEARFIELD_INTERP_TAP_DEV_MEAN,
+    NEARFIELD_INTERP_TAP_DEV_MAX,
+    SESSION_STOPS,
+];
+
+// Span names. Spans are the unit the profiling layer (`uniq-profile`)
+// aggregates over, so their names are registered here exactly like
+// metric names: the baseline comparator and the `verify-profile` CI
+// smoke both key on them, and a renamed stage must be a compile error
+// on both sides.
+
+/// Root span of one personalization attempt.
+pub const SPAN_PERSONALIZE: &str = "personalize";
+/// The measurement session (gesture + IMU + per-stop recordings).
+pub const SPAN_SESSION: &str = "session";
+/// One stop's channel estimation (runs once per stop, inside `session`).
+pub const SPAN_CHANNEL_ESTIMATE: &str = "channel.estimate";
+/// Joint geometry/trajectory sensor fusion.
+pub const SPAN_FUSION: &str = "fusion";
+/// Assembly of the discrete near-field measurements.
+pub const SPAN_NEARFIELD_ASSEMBLE: &str = "nearfield.assemble";
+/// Near-field HRIR interpolation onto the output grid.
+pub const SPAN_NEARFIELD_INTERPOLATE: &str = "nearfield.interpolate";
+/// Near-to-far-field conversion.
+pub const SPAN_NEARFAR_CONVERT: &str = "nearfar.convert";
+/// Known-source angle-of-arrival estimation.
+pub const SPAN_AOA_KNOWN: &str = "aoa.known";
+/// Unknown-source angle-of-arrival estimation.
+pub const SPAN_AOA_UNKNOWN: &str = "aoa.unknown";
+/// A batch personalization run (fans subjects across the pool).
+pub const SPAN_BATCH: &str = "batch";
+
+/// Every span name the workspace may open (see [`ALL_METRICS`] for the
+/// covering test).
+pub const ALL_SPANS: &[&str] = &[
+    SPAN_PERSONALIZE,
+    SPAN_SESSION,
+    SPAN_CHANNEL_ESTIMATE,
+    SPAN_FUSION,
+    SPAN_NEARFIELD_ASSEMBLE,
+    SPAN_NEARFIELD_INTERPOLATE,
+    SPAN_NEARFAR_CONVERT,
+    SPAN_AOA_KNOWN,
+    SPAN_AOA_UNKNOWN,
+    SPAN_BATCH,
+];
+
+/// The spans every successful `personalize` run must traverse — the
+/// stage-coverage contract the `verify-profile` CI smoke asserts on a
+/// profiled run's JSON output.
+pub const PIPELINE_STAGES: &[&str] = &[
+    SPAN_PERSONALIZE,
+    SPAN_SESSION,
+    SPAN_CHANNEL_ESTIMATE,
+    SPAN_FUSION,
+    SPAN_NEARFIELD_ASSEMBLE,
+    SPAN_NEARFIELD_INTERPOLATE,
+    SPAN_NEARFAR_CONVERT,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_unique_and_well_formed() {
+        for list in [ALL_METRICS, ALL_SPANS] {
+            for (i, name) in list.iter().enumerate() {
+                assert!(
+                    !name.is_empty()
+                        && name.chars().all(|c| c.is_ascii_lowercase()
+                            || c.is_ascii_digit()
+                            || "._".contains(c)),
+                    "bad name {name:?}"
+                );
+                assert!(
+                    !list[..i].contains(name),
+                    "duplicate registry entry {name:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_stages_are_registered_spans() {
+        for stage in PIPELINE_STAGES {
+            assert!(ALL_SPANS.contains(stage), "{stage} missing from ALL_SPANS");
+        }
+    }
+}

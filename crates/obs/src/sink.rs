@@ -15,6 +15,12 @@ use std::sync::Mutex;
 pub trait Sink: Send + Sync {
     /// Delivers one event.
     fn on_event(&self, event: &Event);
+
+    /// Pushes any buffered output to its destination. Called by the CLI
+    /// after a run completes (successfully or not) and by
+    /// [`crate::flush_global_sink`] at process teardown; sinks that write
+    /// eagerly need not override the default no-op.
+    fn flush(&self) {}
 }
 
 /// Discards everything. Installing it is equivalent to (and no cheaper
@@ -91,6 +97,11 @@ impl Sink for StderrSink {
 /// {"event":"span_end","name":"fusion","depth":1,"nanos":41233000}
 /// {"event":"metric","name":"fusion.residual_deg","value":3.42,"unit":"deg"}
 /// ```
+///
+/// Writes are buffered (a per-event flush would syscall on every span of
+/// a hot pipeline) and pushed to disk on [`Sink::flush`] and on drop, so
+/// a `--metrics-out` file is complete — whole lines only, no truncated
+/// tail — even when the observed run ends in an error.
 #[derive(Debug)]
 pub struct JsonLinesSink {
     out: Mutex<BufWriter<File>>,
@@ -102,6 +113,16 @@ impl JsonLinesSink {
         Ok(JsonLinesSink {
             out: Mutex::new(BufWriter::new(File::create(path)?)),
         })
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        // Last-chance durability: deliver whatever is still buffered.
+        // I/O errors on a diagnostics channel are still non-fatal.
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -157,6 +178,10 @@ impl Sink for JsonLinesSink {
         let mut out = self.out.lock().expect("jsonl writer poisoned");
         // I/O errors on a diagnostics channel must not kill the pipeline.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let mut out = self.out.lock().expect("jsonl writer poisoned");
         let _ = out.flush();
     }
 }
@@ -259,6 +284,12 @@ impl Sink for MultiSink {
             sink.on_event(event);
         }
     }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +345,29 @@ mod tests {
         );
         assert!(lines[1].contains("\"value\":2.5"));
         assert!(lines[2].contains("\"nanos\":1000"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_buffers_until_flush() {
+        let dir = std::env::temp_dir().join("uniq_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buffered.jsonl");
+        let sink = JsonLinesSink::create(&path).unwrap();
+        sink.on_event(&Event::Counter {
+            name: "c",
+            delta: 1,
+        });
+        // Still buffered: nothing on disk yet (BufWriter default capacity
+        // far exceeds one short line).
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        sink.flush();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            content.ends_with("}\n"),
+            "flushed line truncated: {content:?}"
+        );
+        drop(sink);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,125 @@
+//! Property tests for the percentile math in `uniq_obs::report`: the
+//! order-preserving [`Histogram`] and the log-bucketed [`LogHistogram`]
+//! behind the profiling layer.
+
+use proptest::prelude::*;
+use uniq_obs::report::{Histogram, LogHistogram};
+
+fn exact(values: &[f64]) -> Histogram {
+    Histogram {
+        name: "h".into(),
+        unit: String::new(),
+        values: values.to_vec(),
+    }
+}
+
+fn log_hist(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_histogram_percentiles_are_monotone(
+        values in prop::collection::vec(-1e9..1e9f64, 1..200),
+    ) {
+        let h = exact(&values);
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= h.max(), "p99 {p99} > max {}", h.max());
+        prop_assert!(h.min() <= p50, "min {} > p50 {p50}", h.min());
+        prop_assert_eq!(h.percentile(0.0), h.min());
+        prop_assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn exact_histogram_percentile_brackets_sorted_ranks(
+        values in prop::collection::vec(0.0..1e6f64, 2..150),
+        p in 0.0..100.0f64,
+    ) {
+        // Linear interpolation must land between the two bracketing order
+        // statistics.
+        let h = exact(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+        let lo = sorted[rank.floor() as usize];
+        let hi = sorted[rank.ceil() as usize];
+        let got = h.percentile(p);
+        prop_assert!(got >= lo - 1e-9 && got <= hi + 1e-9, "p{p}: {got} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn log_histogram_percentiles_are_monotone(
+        samples in prop::collection::vec(0u64..50_000_000_000, 1..300),
+    ) {
+        let h = log_hist(&samples);
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max(),
+            "disordered: p50 {p50} p90 {p90} p99 {p99} max {}", h.max());
+        prop_assert!(h.min() <= p50);
+        prop_assert_eq!(h.percentile(0.0), h.min());
+        prop_assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn log_histogram_bucket_relative_error_bounded(
+        v in 1u64..u64::MAX / 2,
+    ) {
+        let q = LogHistogram::quantize(v);
+        let err = (q as f64 - v as f64).abs() / v as f64;
+        prop_assert!(
+            err <= LogHistogram::REL_ERROR_BOUND,
+            "quantize({v}) = {q}: relative error {err} exceeds bound {}",
+            LogHistogram::REL_ERROR_BOUND
+        );
+    }
+
+    #[test]
+    fn log_histogram_percentile_within_bound_of_true_rank(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..200),
+        p in 0.0..100.0f64,
+    ) {
+        // The log-bucketed percentile must sit within the bucket error
+        // bound of the exact nearest-rank percentile.
+        let h = log_hist(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = (((p / 100.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let truth = sorted[rank] as f64;
+        let got = h.percentile(p) as f64;
+        prop_assert!(
+            (got - truth).abs() / truth <= LogHistogram::REL_ERROR_BOUND,
+            "p{p}: bucketed {got} vs exact {truth}"
+        );
+    }
+
+    #[test]
+    fn merging_per_thread_histograms_equals_single_thread(
+        samples in prop::collection::vec(0u64..50_000_000_000, 0..300),
+        parts in 1usize..8,
+    ) {
+        // A per-thread profile merged at the end must equal the profile a
+        // single thread would have recorded over all the samples.
+        let whole = log_hist(&samples);
+        let mut merged = LogHistogram::new();
+        let chunk = samples.len() / parts + 1;
+        for part in samples.chunks(chunk.max(1)) {
+            merged.merge(&log_hist(part));
+        }
+        prop_assert_eq!(&merged, &whole);
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), whole.percentile(p));
+        }
+    }
+}

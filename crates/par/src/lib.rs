@@ -62,6 +62,19 @@ pub fn default_threads() -> usize {
     })
 }
 
+/// Identity of the calling thread within uniq-par: `Some((pool_id,
+/// worker_index))` when called from a pool worker thread, `None` for any
+/// other thread (including a caller that is *helping* run jobs while it
+/// waits on a scope — helping happens on the caller's own thread).
+///
+/// This is the thread-attribution hook for observability: a profiling
+/// sink calls it while handling a span event (sinks run on the emitting
+/// thread) to tag the sample with the worker that produced it, making
+/// pool imbalance visible without threading IDs through every event.
+pub fn current_worker() -> Option<(usize, usize)> {
+    pool::current_worker_identity()
+}
+
 /// Returns the shared pool of the requested size, creating it on first
 /// use. `threads == 0` means "default" (see [`default_threads`]). Pools
 /// are cached per size and live for the rest of the process, so hot paths
@@ -115,5 +128,20 @@ mod tests {
     fn zero_means_default() {
         let d = pool(0);
         assert_eq!(d.threads(), default_threads());
+    }
+
+    #[test]
+    fn current_worker_identifies_pool_threads() {
+        // The calling thread is not a worker.
+        assert_eq!(current_worker(), None);
+        // In a pool of 4 over enough slow-ish items, at least one chunk
+        // runs on a spawned worker (index < threads - 1); chunks that the
+        // helping caller ran report None.
+        let p = pool(4);
+        let items: Vec<u64> = (0..64).collect();
+        let ids = p.par_map_chunked(&items, 1, |_| current_worker());
+        for id in ids.iter().flatten() {
+            assert!(id.1 < p.threads() - 1, "worker index out of range: {id:?}");
+        }
     }
 }

@@ -22,6 +22,12 @@ thread_local! {
         const { std::cell::Cell::new(None) };
 }
 
+/// `(pool id, worker index)` of the calling thread when it is a pool
+/// worker, `None` otherwise (see [`crate::current_worker`]).
+pub(crate) fn current_worker_identity() -> Option<(usize, usize)> {
+    WORKER.with(|w| w.get())
+}
+
 /// Wakes sleeping workers; the generation counter prevents lost wakeups
 /// (a worker only sleeps if the generation is unchanged since it last
 /// searched every queue and found nothing).

@@ -1,0 +1,767 @@
+//! # uniq-profile
+//!
+//! A profiling layer over `uniq-obs`: [`ProfileSink`] implements
+//! [`uniq_obs::sink::Sink`] and aggregates the span event stream into
+//! per-stage latency statistics — count, total, min/max and
+//! p50/p90/p99 from log-bucketed histograms
+//! ([`uniq_obs::report::LogHistogram`]) — with per-thread attribution so
+//! `uniq-par` worker imbalance is visible, plus per-call-path self-time
+//! for flamegraphs. Zero external dependencies.
+//!
+//! Three exporters ship on [`ProfileReport`]:
+//!
+//! - [`ProfileReport::render_table`] — a human-readable table (also the
+//!   `Display` impl), printed by `uniq profile <command>`;
+//! - [`ProfileReport::to_json`] — machine-readable, consumed by the
+//!   benchmark baseline comparator and the CI `verify-profile` smoke
+//!   (parse it back with [`json::Json`]);
+//! - [`ProfileReport::collapsed_stacks`] — Brendan-Gregg collapsed-stack
+//!   lines (`path;to;frame self_nanos`), ready for `flamegraph.pl` or any
+//!   compatible renderer.
+//!
+//! Like every sink, profiling only observes: the pipeline's numeric
+//! output is bit-identical with or without a `ProfileSink` installed
+//! (asserted by the workspace `profiling` integration test).
+//!
+//! ## Attribution model
+//!
+//! Sinks run on the emitting thread, so each span sample is tagged with
+//! [`uniq_par::current_worker`] at delivery time: `worker-<i>` for pool
+//! workers (index within the pool), `main` for everything else —
+//! including a pool *caller* helping run jobs while it waits, which is
+//! uniq-par's design (see its crate docs). Worker indices are per-pool;
+//! in the rare process that profiles across two pools of different sizes
+//! the labels merge, which is acceptable for an imbalance overview.
+//!
+//! Span *paths* (for flamegraphs) are reconstructed per thread from
+//! start/end nesting. Spans emitted on a pool worker root their own
+//! stack there; cross-thread parentage is not stitched. Chunks the
+//! caller runs itself nest under the caller's open spans as usual.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use uniq_obs::report::LogHistogram;
+use uniq_obs::sink::{human_duration, json_escape, Sink};
+use uniq_obs::Event;
+
+/// Schema stamp on [`ProfileReport::to_json`] output; bump on any
+/// incompatible shape change so downstream readers can refuse early.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Span durations arrive as `u128` nanoseconds; the histogram records
+/// `u64`. Saturate rather than wrap — a >584-year span is already wrong.
+fn nanos_u64(nanos: u128) -> u64 {
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+
+/// The label a sample delivered on the current thread is attributed to.
+fn thread_label() -> String {
+    match uniq_par::current_worker() {
+        Some((_pool, index)) => format!("worker-{index}"),
+        None => "main".to_string(),
+    }
+}
+
+/// One open span on one thread's reconstruction stack.
+#[derive(Debug)]
+struct Frame {
+    name: &'static str,
+    /// Nanoseconds consumed by already-closed direct children; subtracted
+    /// from the span's own duration at close to get self time.
+    child_nanos: u128,
+}
+
+/// Count/total/histogram for one slice of samples (a stage, or a stage on
+/// one thread).
+#[derive(Debug, Clone, Default)]
+struct SliceAgg {
+    count: u64,
+    total_nanos: u128,
+    hist: LogHistogram,
+}
+
+impl SliceAgg {
+    fn record(&mut self, nanos: u128) {
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.hist.record(nanos_u64(nanos));
+    }
+}
+
+#[derive(Debug)]
+struct StageAgg {
+    /// Minimum nesting depth seen (for table indentation).
+    depth: usize,
+    all: SliceAgg,
+    by_thread: BTreeMap<String, SliceAgg>,
+}
+
+#[derive(Debug, Default)]
+struct PathAgg {
+    self_nanos: u128,
+    total_nanos: u128,
+    count: u64,
+}
+
+#[derive(Debug, Default)]
+struct ThreadAgg {
+    /// Sum of span *self* times delivered on this thread — each
+    /// nanosecond of busy work counted exactly once, so thread rows are
+    /// comparable even though spans nest.
+    busy_nanos: u128,
+    spans: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    stacks: HashMap<ThreadId, Vec<Frame>>,
+    stages: BTreeMap<&'static str, StageAgg>,
+    paths: BTreeMap<String, PathAgg>,
+    threads: BTreeMap<String, ThreadAgg>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// A [`Sink`] that aggregates span events into a [`ProfileReport`].
+///
+/// Install it like any sink — [`uniq_obs::with_sink`] for a scope,
+/// [`uniq_obs::set_global_sink`] (usually inside a
+/// [`uniq_obs::sink::MultiSink`]) for a whole process — run the workload,
+/// then call [`ProfileSink::report`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use uniq_profile::ProfileSink;
+///
+/// let profile = Arc::new(ProfileSink::new());
+/// uniq_obs::with_sink(profile.clone(), || {
+///     let _span = uniq_obs::span("stage");
+/// });
+/// let report = profile.report();
+/// assert_eq!(report.stages.len(), 1);
+/// assert_eq!(report.stages[0].count, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProfileSink {
+    state: Mutex<State>,
+}
+
+impl ProfileSink {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        ProfileSink::default()
+    }
+
+    /// Snapshots the aggregates into an exportable report. Stages are
+    /// sorted by (depth, name), everything else by name — deterministic
+    /// regardless of event arrival order.
+    pub fn report(&self) -> ProfileReport {
+        let state = self.state.lock().expect("profile sink poisoned");
+        let mut stages: Vec<StageProfile> = state
+            .stages
+            .iter()
+            .map(|(name, agg)| StageProfile {
+                name: (*name).to_string(),
+                depth: agg.depth,
+                count: agg.all.count,
+                total_nanos: agg.all.total_nanos,
+                min_nanos: agg.all.hist.min(),
+                p50_nanos: agg.all.hist.percentile(50.0),
+                p90_nanos: agg.all.hist.percentile(90.0),
+                p99_nanos: agg.all.hist.percentile(99.0),
+                max_nanos: agg.all.hist.max(),
+                threads: agg
+                    .by_thread
+                    .iter()
+                    .map(|(label, slice)| StageThreadRow {
+                        thread: label.clone(),
+                        count: slice.count,
+                        total_nanos: slice.total_nanos,
+                        p50_nanos: slice.hist.percentile(50.0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        stages.sort_by(|a, b| a.depth.cmp(&b.depth).then_with(|| a.name.cmp(&b.name)));
+        ProfileReport {
+            stages,
+            threads: state
+                .threads
+                .iter()
+                .map(|(label, agg)| ThreadProfile {
+                    thread: label.clone(),
+                    busy_nanos: agg.busy_nanos,
+                    spans: agg.spans,
+                })
+                .collect(),
+            paths: state
+                .paths
+                .iter()
+                .map(|(path, agg)| PathProfile {
+                    path: path.clone(),
+                    self_nanos: agg.self_nanos,
+                    total_nanos: agg.total_nanos,
+                    count: agg.count,
+                })
+                .collect(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+impl Sink for ProfileSink {
+    fn on_event(&self, event: &Event) {
+        let mut state = self.state.lock().expect("profile sink poisoned");
+        match event {
+            Event::SpanStart { name, .. } => {
+                state
+                    .stacks
+                    .entry(std::thread::current().id())
+                    .or_default()
+                    .push(Frame {
+                        name,
+                        child_nanos: 0,
+                    });
+            }
+            Event::SpanEnd { name, depth, nanos } => {
+                let label = thread_label();
+                let stack = state.stacks.entry(std::thread::current().id()).or_default();
+                // Pop the matching frame. A mismatch means the sink was
+                // installed mid-span (it saw an end without the start);
+                // account the sample with zero known child time and leave
+                // the stack alone.
+                let child_nanos = match stack.last() {
+                    Some(frame) if frame.name == *name => {
+                        stack.pop().map(|f| f.child_nanos).unwrap_or(0)
+                    }
+                    _ => 0,
+                };
+                let self_nanos = nanos.saturating_sub(child_nanos);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_nanos += nanos;
+                }
+                let path = {
+                    let mut parts: Vec<&str> = stack.iter().map(|f| f.name).collect();
+                    parts.push(name);
+                    parts.join(";")
+                };
+                let stage = state.stages.entry(name).or_insert_with(|| StageAgg {
+                    depth: *depth,
+                    all: SliceAgg::default(),
+                    by_thread: BTreeMap::new(),
+                });
+                stage.depth = stage.depth.min(*depth);
+                stage.all.record(*nanos);
+                stage
+                    .by_thread
+                    .entry(label.clone())
+                    .or_default()
+                    .record(*nanos);
+                let path_agg = state.paths.entry(path).or_default();
+                path_agg.self_nanos += self_nanos;
+                path_agg.total_nanos += nanos;
+                path_agg.count += 1;
+                let thread = state.threads.entry(label).or_default();
+                thread.busy_nanos += self_nanos;
+                thread.spans += 1;
+            }
+            Event::Counter { name, delta } => {
+                *state.counters.entry(name).or_insert(0) += delta;
+            }
+            // Metrics carry quality numbers, not time; the report layer
+            // (`uniq_obs::report::Report`) already aggregates them.
+            Event::Metric { .. } => {}
+        }
+    }
+}
+
+/// Per-thread latency slice of one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageThreadRow {
+    /// Attribution label: `main` or `worker-<i>`.
+    pub thread: String,
+    /// Samples delivered on this thread.
+    pub count: u64,
+    /// Total nanoseconds of those samples.
+    pub total_nanos: u128,
+    /// Median nanoseconds of those samples.
+    pub p50_nanos: u64,
+}
+
+/// Aggregated latency statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageProfile {
+    /// Span name (see `uniq_obs::names`).
+    pub name: String,
+    /// Minimum nesting depth observed (indentation hint).
+    pub depth: usize,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall nanoseconds across all spans.
+    pub total_nanos: u128,
+    /// Fastest span, nanoseconds (exact).
+    pub min_nanos: u64,
+    /// Median span, nanoseconds (log-bucketed, ≤ ~0.4% relative error).
+    pub p50_nanos: u64,
+    /// 90th-percentile span, nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th-percentile span, nanoseconds.
+    pub p99_nanos: u64,
+    /// Slowest span, nanoseconds (exact).
+    pub max_nanos: u64,
+    /// Per-thread breakdown, sorted by label.
+    pub threads: Vec<StageThreadRow>,
+}
+
+/// Busy-time summary for one attribution label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProfile {
+    /// Attribution label: `main` or `worker-<i>`.
+    pub thread: String,
+    /// Sum of span self times delivered on this thread (each busy
+    /// nanosecond counted once despite nesting).
+    pub busy_nanos: u128,
+    /// Spans closed on this thread.
+    pub spans: u64,
+}
+
+/// Self/total time for one call path (`;`-joined span names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathProfile {
+    /// Root-to-leaf span names joined with `;` (collapsed-stack syntax).
+    pub path: String,
+    /// Nanoseconds in this path excluding child spans.
+    pub self_nanos: u128,
+    /// Nanoseconds in this path including child spans.
+    pub total_nanos: u128,
+    /// Times the leaf span closed on this path.
+    pub count: u64,
+}
+
+/// The exportable profiling snapshot (see [`ProfileSink::report`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Per-stage statistics, sorted by (depth, name).
+    pub stages: Vec<StageProfile>,
+    /// Per-thread busy time, sorted by label.
+    pub threads: Vec<ThreadProfile>,
+    /// Per-call-path self time, sorted by path.
+    pub paths: Vec<PathProfile>,
+    /// Counter totals, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl ProfileReport {
+    /// Looks up one stage by span name.
+    pub fn stage(&self, name: &str) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The human-readable per-stage table (also the `Display` impl):
+    ///
+    /// ```text
+    /// per-stage wall clock:
+    ///   stage                          count      total        p50        p90        p99        max
+    ///   personalize                        1     2.31s      2.31s      2.31s      2.31s      2.31s
+    ///     session                          1   812.4ms    812.4ms    812.4ms    812.4ms    812.4ms
+    ///       channel.estimate              12    40.1ms      3.3ms      3.6ms      3.8ms      3.8ms
+    ///         [main]                       8    26.7ms      3.3ms
+    ///         [worker-0]                   4    13.4ms      3.4ms
+    /// threads:
+    ///   main        busy 2.29s over 22 spans
+    ///   worker-0    busy 13.4ms over 4 spans
+    /// ```
+    ///
+    /// Per-thread subrows appear only for stages that ran on more than
+    /// one thread, so single-threaded output stays compact.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("per-stage wall clock:\n");
+        out.push_str(&format!(
+            "  {:<30} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "count", "total", "p50", "p90", "p99", "max"
+        ));
+        for stage in &self.stages {
+            let label = format!("{}{}", "  ".repeat(stage.depth), stage.name);
+            out.push_str(&format!(
+                "  {:<30} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                label,
+                stage.count,
+                human_duration(stage.total_nanos),
+                human_duration(u128::from(stage.p50_nanos)),
+                human_duration(u128::from(stage.p90_nanos)),
+                human_duration(u128::from(stage.p99_nanos)),
+                human_duration(u128::from(stage.max_nanos)),
+            ));
+            if stage.threads.len() > 1 {
+                for row in &stage.threads {
+                    let label = format!("{}[{}]", "  ".repeat(stage.depth + 1), row.thread);
+                    out.push_str(&format!(
+                        "  {:<30} {:>6} {:>10} {:>10}\n",
+                        label,
+                        row.count,
+                        human_duration(row.total_nanos),
+                        human_duration(u128::from(row.p50_nanos)),
+                    ));
+                }
+            }
+        }
+        if !self.threads.is_empty() {
+            out.push_str("threads:\n");
+            for t in &self.threads {
+                out.push_str(&format!(
+                    "  {:<11} busy {} over {} span{}\n",
+                    t.thread,
+                    human_duration(t.busy_nanos),
+                    t.spans,
+                    if t.spans == 1 { "" } else { "s" },
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, total) in &self.counters {
+                out.push_str(&format!("  {name:<30} {total}\n"));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON (schema [`PROFILE_SCHEMA_VERSION`]); parse
+    /// it back with [`json::Json::parse`]. All durations are integer
+    /// nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema_version\": {PROFILE_SCHEMA_VERSION},\n  \"stages\": ["
+        ));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"depth\": {}, \"count\": {}, \"total_ns\": {}, \
+                 \"min_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \
+                 \"threads\": [{}]}}",
+                json_escape(&s.name),
+                s.depth,
+                s.count,
+                s.total_nanos,
+                s.min_nanos,
+                s.p50_nanos,
+                s.p90_nanos,
+                s.p99_nanos,
+                s.max_nanos,
+                s.threads
+                    .iter()
+                    .map(|t| format!(
+                        "{{\"thread\": \"{}\", \"count\": {}, \"total_ns\": {}, \"p50_ns\": {}}}",
+                        json_escape(&t.thread),
+                        t.count,
+                        t.total_nanos,
+                        t.p50_nanos
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
+        out.push_str("\n  ],\n  \"threads\": [");
+        for (i, t) in self.threads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"thread\": \"{}\", \"busy_ns\": {}, \"spans\": {}}}",
+                json_escape(&t.thread),
+                t.busy_nanos,
+                t.spans
+            ));
+        }
+        out.push_str("\n  ],\n  \"counters\": {");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(name), total));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Collapsed-stack lines (`span;child;leaf self_nanos`, one per call
+    /// path), the input format of `flamegraph.pl` and compatible tools.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut out = String::new();
+        for p in &self.paths {
+            out.push_str(&format!("{} {}\n", p.path, p.self_nanos));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn end(name: &'static str, depth: usize, nanos: u128) -> Event {
+        Event::SpanEnd { name, depth, nanos }
+    }
+
+    fn start(name: &'static str, depth: usize) -> Event {
+        Event::SpanStart { name, depth }
+    }
+
+    /// root(1000) { a(300), a(100) } — classic self-time split.
+    fn feed_nested(sink: &ProfileSink) {
+        for e in [
+            start("root", 0),
+            start("a", 1),
+            end("a", 1, 300),
+            start("a", 1),
+            end("a", 1, 100),
+            end("root", 0, 1000),
+        ] {
+            sink.on_event(&e);
+        }
+    }
+
+    #[test]
+    fn self_time_accounting() {
+        let sink = ProfileSink::new();
+        feed_nested(&sink);
+        let r = sink.report();
+
+        let root = r.stage("root").unwrap();
+        assert_eq!((root.count, root.total_nanos, root.depth), (1, 1000, 0));
+        let a = r.stage("a").unwrap();
+        assert_eq!(
+            (a.count, a.total_nanos, a.min_nanos, a.max_nanos),
+            (2, 400, 100, 300)
+        );
+
+        // Paths: root has 600ns self (1000 - two `a` children), `a` keeps
+        // all 400 of its own.
+        let by_path: BTreeMap<&str, &PathProfile> =
+            r.paths.iter().map(|p| (p.path.as_str(), p)).collect();
+        assert_eq!(by_path["root"].self_nanos, 600);
+        assert_eq!(by_path["root"].total_nanos, 1000);
+        assert_eq!(by_path["root;a"].self_nanos, 400);
+        assert_eq!(by_path["root;a"].count, 2);
+
+        // One thread (the test thread = "main"), busy = sum of self times
+        // = 1000 exactly: no double counting across nesting.
+        assert_eq!(r.threads.len(), 1);
+        assert_eq!(r.threads[0].thread, "main");
+        assert_eq!(r.threads[0].busy_nanos, 1000);
+        assert_eq!(r.threads[0].spans, 3);
+    }
+
+    #[test]
+    fn stages_sorted_by_depth_then_name() {
+        let sink = ProfileSink::new();
+        for e in [
+            start("z", 0),
+            start("b", 1),
+            end("b", 1, 10),
+            start("a", 1),
+            end("a", 1, 10),
+            end("z", 0, 100),
+        ] {
+            sink.on_event(&e);
+        }
+        let report = sink.report();
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["z", "a", "b"]);
+    }
+
+    #[test]
+    fn percentiles_from_many_samples() {
+        let sink = ProfileSink::new();
+        sink.on_event(&start("root", 0));
+        for i in 1..=100u128 {
+            sink.on_event(&start("s", 1));
+            sink.on_event(&end("s", 1, i * 1_000_000));
+        }
+        sink.on_event(&end("root", 0, 200_000_000));
+        let s = sink.report().stage("s").unwrap().clone();
+        assert_eq!(s.count, 100);
+        let tol = 1.0 / 200.0; // generous vs LogHistogram's 1/256 bound
+        for (got, want) in [
+            (s.p50_nanos, 50_000_000.0),
+            (s.p90_nanos, 90_000_000.0),
+            (s.p99_nanos, 99_000_000.0),
+        ] {
+            let err = (got as f64 - want).abs() / want;
+            assert!(err <= tol, "{got} vs {want}: err {err}");
+        }
+        assert!(s.p50_nanos <= s.p90_nanos && s.p90_nanos <= s.p99_nanos);
+        assert_eq!(s.max_nanos, 100_000_000);
+        assert_eq!(s.min_nanos, 1_000_000);
+    }
+
+    #[test]
+    fn counters_accumulate_and_metrics_ignored() {
+        let sink = ProfileSink::new();
+        sink.on_event(&Event::Counter {
+            name: "c",
+            delta: 2,
+        });
+        sink.on_event(&Event::Counter {
+            name: "c",
+            delta: 3,
+        });
+        sink.on_event(&Event::Metric {
+            name: "m",
+            value: 1.0,
+            unit: "",
+        });
+        let r = sink.report();
+        assert_eq!(r.counters["c"], 5);
+        assert!(r.stages.is_empty());
+    }
+
+    #[test]
+    fn end_without_start_is_tolerated() {
+        // Sink installed mid-span: the end arrives with no frame. The
+        // sample still counts; the stack stays sane for what follows.
+        let sink = ProfileSink::new();
+        sink.on_event(&end("orphan", 3, 500));
+        feed_nested(&sink);
+        let r = sink.report();
+        assert_eq!(r.stage("orphan").unwrap().count, 1);
+        assert_eq!(r.stage("root").unwrap().total_nanos, 1000);
+    }
+
+    #[test]
+    fn table_renders_columns_and_indentation() {
+        let sink = ProfileSink::new();
+        feed_nested(&sink);
+        sink.on_event(&Event::Counter {
+            name: "retries",
+            delta: 1,
+        });
+        let text = sink.report().render_table();
+        for needle in ["per-stage wall clock:", "count", "p50", "p90", "p99", "max"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(text.contains("  root"));
+        assert!(text.contains("    a"), "child not indented:\n{text}");
+        assert!(text.contains("threads:"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("retries"));
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let sink = ProfileSink::new();
+        feed_nested(&sink);
+        sink.on_event(&Event::Counter {
+            name: "retries",
+            delta: 7,
+        });
+        let doc = json::Json::parse(&sink.report().to_json()).expect("self-emitted JSON");
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_u64(),
+            Some(PROFILE_SCHEMA_VERSION)
+        );
+        let stages = doc.get("stages").unwrap().as_array().unwrap();
+        assert_eq!(stages.len(), 2);
+        let root = stages
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("root"))
+            .unwrap();
+        assert_eq!(root.get("total_ns").unwrap().as_u64(), Some(1000));
+        assert_eq!(root.get("count").unwrap().as_u64(), Some(1));
+        assert!(root.get("p50_ns").unwrap().as_u64().is_some());
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("retries")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        let threads = doc.get("threads").unwrap().as_array().unwrap();
+        assert_eq!(threads[0].get("thread").unwrap().as_str(), Some("main"));
+    }
+
+    #[test]
+    fn collapsed_stack_line_format() {
+        let sink = ProfileSink::new();
+        feed_nested(&sink);
+        let collapsed = sink.report().collapsed_stacks();
+        let lines: Vec<&str> = collapsed.lines().collect();
+        assert_eq!(lines, vec!["root 600", "root;a 400"]);
+        for line in lines {
+            let (path, value) = line.rsplit_once(' ').unwrap();
+            assert!(!path.is_empty() && !path.contains(' '));
+            value.parse::<u64>().expect("self time not an integer");
+        }
+    }
+
+    #[test]
+    fn live_spans_through_with_sink() {
+        let profile = Arc::new(ProfileSink::new());
+        uniq_obs::with_sink(profile.clone(), || {
+            let _outer = uniq_obs::span("outer");
+            let _inner = uniq_obs::span("inner");
+        });
+        let r = profile.report();
+        assert_eq!(r.stages.len(), 2);
+        let outer = r.stage("outer").unwrap();
+        let inner = r.stage("inner").unwrap();
+        assert_eq!((outer.depth, inner.depth), (0, 1));
+        assert!(outer.total_nanos >= inner.total_nanos);
+        assert_eq!(
+            r.paths.iter().map(|p| p.path.as_str()).collect::<Vec<_>>(),
+            vec!["outer", "outer;inner"]
+        );
+    }
+
+    #[test]
+    fn pool_worker_samples_get_worker_labels() {
+        let profile = Arc::new(ProfileSink::new());
+        uniq_obs::with_sink(profile.clone(), || {
+            let ctx = uniq_obs::capture();
+            let pool = uniq_par::pool(3);
+            let items: Vec<u64> = (0..32).collect();
+            let _: Vec<u64> = pool.par_map_chunked(&items, 1, |&i| {
+                ctx.run(|| {
+                    let _span = uniq_obs::span("chunk");
+                    i
+                })
+            });
+        });
+        let r = profile.report();
+        let chunk = r.stage("chunk").expect("worker spans reached the sink");
+        assert_eq!(chunk.count, 32);
+        // Labels are exactly main / worker-<i>, i < pool size - 1.
+        for t in &r.threads {
+            if t.thread != "main" {
+                let idx: usize = t.thread.strip_prefix("worker-").unwrap().parse().unwrap();
+                assert!(idx < 2, "unexpected worker index {idx}");
+            }
+        }
+        let by_thread_total: u64 = chunk.threads.iter().map(|t| t.count).sum();
+        assert_eq!(
+            by_thread_total, 32,
+            "per-thread rows must partition samples"
+        );
+    }
+}

@@ -21,4 +21,30 @@ UNIQ_THREADS=1 cargo test -q --workspace
 echo "== cargo test (UNIQ_THREADS=4) =="
 UNIQ_THREADS=4 cargo test -q --workspace
 
+echo "== release build (profiling + baseline gate binaries) =="
+cargo build --release -q -p uniq-cli -p uniq-bench
+
+echo "== profile smoke (uniq profile wrapper + stage coverage) =="
+ci_tmp="$(mktemp -d)"
+trap 'rm -rf "$ci_tmp"' EXIT
+target/release/uniq profile personalize --seed 6 --out "$ci_tmp/hrtf" \
+  --anechoic --grid 15 \
+  --profile-out "$ci_tmp/profile.json" --flame-out "$ci_tmp/flame.txt" \
+  > "$ci_tmp/profile.log"
+grep -q "per-stage wall clock:" "$ci_tmp/profile.log"
+target/release/baseline verify-profile "$ci_tmp/profile.json"
+test -s "$ci_tmp/flame.txt"
+
+echo "== baseline determinism (two runs, bit-identical quality) =="
+target/release/baseline run --out "$ci_tmp/fresh_a.json"
+target/release/baseline run --out "$ci_tmp/fresh_b.json"
+target/release/baseline quality-identical "$ci_tmp/fresh_a.json" "$ci_tmp/fresh_b.json"
+
+echo "== baseline compare vs BENCH_BASELINE.json (UNIQ_THREADS=1) =="
+UNIQ_THREADS=1 target/release/baseline compare \
+  --baseline BENCH_BASELINE.json --fresh "$ci_tmp/fresh_a.json"
+
+echo "== baseline compare vs BENCH_BASELINE.json (UNIQ_THREADS=4) =="
+UNIQ_THREADS=4 target/release/baseline compare --baseline BENCH_BASELINE.json
+
 echo "CI green."

@@ -207,6 +207,45 @@ fn failed_subjects_in_a_batch_are_identified_not_joined() {
 }
 
 #[test]
+fn trace_file_survives_a_failing_pipeline_without_truncated_lines() {
+    // A failing run is exactly when the trace matters most. Run the
+    // hopeless-SNR scenario under a buffered JsonLinesSink, let the sink
+    // flush on drop (no explicit flush call), and require that the file
+    // holds only complete JSON lines — a truncated tail would mean the
+    // buffer lost the events closest to the failure.
+    let cfg = UniqConfig {
+        snr_db: -10.0,
+        ..base_cfg()
+    };
+    let subject = Subject::from_seed(400);
+    let path =
+        std::env::temp_dir().join(format!("uniq_failure_trace_{}.jsonl", std::process::id()));
+    {
+        let sink = std::sync::Arc::new(
+            uniq_obs::sink::JsonLinesSink::create(&path).expect("create trace file"),
+        );
+        let outcome = uniq_obs::with_sink(sink, || personalize(&subject, &cfg, 1));
+        // (Either outcome is acceptable — see hopeless_snr_fails_cleanly —
+        // but the trace contract below must hold either way.)
+        let _ = outcome;
+    } // last Arc drops here; Drop must flush the tail of the buffer
+
+    let content = std::fs::read_to_string(&path).expect("trace file readable");
+    std::fs::remove_file(&path).ok();
+    assert!(!content.is_empty(), "no events reached the trace file");
+    assert!(
+        content.ends_with('\n'),
+        "file ends mid-line: buffered tail was lost on drop"
+    );
+    for (i, line) in content.lines().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "line {i} is not a complete JSON object: {line:?}"
+        );
+    }
+}
+
+#[test]
 fn reverberant_room_with_low_snr_structured_outcome() {
     let cfg = UniqConfig {
         in_room: true,

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use uniq_core::config::UniqConfig;
 use uniq_core::pipeline::{personalize, personalize_with_retry, PersonalizationResult};
 use uniq_obs::sink::{MemorySink, NoopSink};
+use uniq_obs::Event;
 use uniq_subjects::Subject;
 
 fn obs_cfg() -> UniqConfig {
@@ -134,4 +135,55 @@ fn instrumentation_never_changes_the_output() {
 
     assert_results_identical(&bare, &noop);
     assert_results_identical(&bare, &recorded);
+}
+
+#[test]
+fn every_emitted_name_is_registered() {
+    // Exercise the full instrumented surface — the pipeline, the batch
+    // runner and both AoA estimators — and check that every span, metric
+    // and counter name it emits is declared in `uniq_obs::names`. A name
+    // minted inline at an instrumentation site would dodge the profiler's
+    // stage registry and the baseline gate.
+    let cfg = obs_cfg();
+    let memory = Arc::new(MemorySink::new());
+    uniq_obs::with_sink(memory.clone(), || {
+        let subject = Subject::from_seed(73);
+        let result = personalize(&subject, &cfg, 45).expect("pipeline succeeds");
+
+        let batch_cfg = UniqConfig {
+            threads: 2,
+            ..cfg.clone()
+        };
+        uniq_core::batch::personalize_batch(&[73, 74], &batch_cfg, 2, 1);
+
+        let table = &result.hrtf;
+        let sig = uniq_acoustics::signals::generate(
+            uniq_acoustics::signals::SignalKind::WhiteNoise,
+            0.4,
+            table.sample_rate(),
+            9,
+        );
+        let rendered = table.synthesize(&sig, 60.0, true);
+        let rec = uniq_acoustics::measure::BinauralRecording {
+            left: rendered.left,
+            right: rendered.right,
+        };
+        uniq_core::aoa::estimate_known_source(&rec, &sig, table.far(), &cfg);
+        uniq_core::aoa::estimate_unknown_source(&rec, table.far(), &cfg);
+    });
+
+    let events = memory.events();
+    assert!(!events.is_empty(), "no events recorded");
+    for event in &events {
+        match event {
+            Event::SpanStart { name, .. } | Event::SpanEnd { name, .. } => assert!(
+                uniq_obs::names::ALL_SPANS.contains(name),
+                "span {name:?} is not in uniq_obs::names::ALL_SPANS"
+            ),
+            Event::Metric { name, .. } | Event::Counter { name, .. } => assert!(
+                uniq_obs::names::ALL_METRICS.contains(name),
+                "metric/counter {name:?} is not in uniq_obs::names::ALL_METRICS"
+            ),
+        }
+    }
 }
