@@ -59,6 +59,55 @@ pub struct BinauralRecording {
     pub right: Vec<f64>,
 }
 
+/// Identifies one recording capture for fault injection: which stop of
+/// the sweep is being recorded, which retry attempt this is, and the
+/// sample rate of the stream (so injectors can convert seconds to
+/// samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionSite {
+    /// Scheduled stop index within the sweep.
+    pub stop: usize,
+    /// Retry attempt for this stop (0 = first capture).
+    pub attempt: usize,
+    /// Sample rate of the recorded streams, Hz.
+    pub sample_rate: f64,
+}
+
+/// A fault injector operating at the recording boundary — the last point
+/// where the real system would see corruption (a dropped chirp, clipped
+/// samples, a noise burst) before channel estimation.
+///
+/// Implementations must be deterministic: the same site and the same
+/// injector state must corrupt a given recording identically, because the
+/// session layer replays captures across retries and thread counts.
+pub trait RecordingInjector: std::fmt::Debug + Sync {
+    /// Corrupts `rec` in place and returns the labels of the fault
+    /// classes actually applied at this site (empty = untouched).
+    fn corrupt_recording(
+        &self,
+        site: InjectionSite,
+        rec: &mut BinauralRecording,
+    ) -> Vec<&'static str>;
+}
+
+/// Like [`record_point_source`], but passes the capture through a
+/// [`RecordingInjector`] before returning it. Returns the (possibly
+/// corrupted) recording together with the fault-class labels the injector
+/// applied. Returns `None` if `src` is inside the head.
+pub fn record_point_source_injected(
+    renderer: &Renderer,
+    setup: &MeasurementSetup,
+    src: Vec2,
+    probe: &[f64],
+    noise_seed: u64,
+    site: InjectionSite,
+    injector: &dyn RecordingInjector,
+) -> Option<(BinauralRecording, Vec<&'static str>)> {
+    let mut rec = record_point_source(renderer, setup, src, probe, noise_seed)?;
+    let faults = injector.corrupt_recording(site, &mut rec);
+    Some((rec, faults))
+}
+
 /// Records `probe` played from a point source at `src` through the full
 /// measurement chain. Returns `None` if `src` is inside the head.
 pub fn record_point_source(
@@ -207,6 +256,51 @@ mod tests {
         let lag = uniq_dsp::xcorr::xcorr_peak_lag(&rec.left, &rec.right).0;
         // Source on the left → right is delayed → aligning lag positive.
         assert!(lag > 0, "lag {lag}");
+    }
+
+    #[derive(Debug)]
+    struct HalveLeft;
+    impl RecordingInjector for HalveLeft {
+        fn corrupt_recording(
+            &self,
+            site: InjectionSite,
+            rec: &mut BinauralRecording,
+        ) -> Vec<&'static str> {
+            if site.stop == 1 {
+                for v in rec.left.iter_mut() {
+                    *v *= 0.5;
+                }
+                vec!["halve-left"]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn injected_recording_matches_clean_capture_plus_corruption() {
+        let r = renderer();
+        let setup = MeasurementSetup::anechoic(SR, 30.0);
+        let src = Vec2::new(-0.4, 0.1);
+        let clean = record_point_source(&r, &setup, src, &probe(), 5).unwrap();
+        let site = InjectionSite {
+            stop: 1,
+            attempt: 0,
+            sample_rate: SR,
+        };
+        let (rec, faults) =
+            record_point_source_injected(&r, &setup, src, &probe(), 5, site, &HalveLeft).unwrap();
+        assert_eq!(faults, vec!["halve-left"]);
+        let halved: Vec<f64> = clean.left.iter().map(|v| v * 0.5).collect();
+        assert_eq!(rec.left, halved, "corruption must act on the clean capture");
+        assert_eq!(rec.right, clean.right, "right ear untouched");
+
+        // A site the injector ignores must leave the capture bit-identical.
+        let miss = InjectionSite { stop: 0, ..site };
+        let (rec, faults) =
+            record_point_source_injected(&r, &setup, src, &probe(), 5, miss, &HalveLeft).unwrap();
+        assert!(faults.is_empty());
+        assert_eq!(rec.left, clean.left);
     }
 
     #[test]

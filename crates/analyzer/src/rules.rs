@@ -39,6 +39,7 @@ pub const RESULT_CRATES: &[&str] = &[
     "optim",
     "render",
     "subjects",
+    "faults",
 ];
 
 /// The only crate allowed to contain `unsafe` code.

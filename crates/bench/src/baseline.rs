@@ -94,7 +94,9 @@ impl BaselineSpec {
         }
     }
 
-    fn config(&self, threads: usize) -> UniqConfig {
+    /// The pipeline configuration behind the pinned workload — public so
+    /// golden tests can re-run the exact checked-in workload.
+    pub fn config(&self, threads: usize) -> UniqConfig {
         UniqConfig {
             in_room: false,
             grid_step_deg: self.grid_step_deg,

@@ -26,6 +26,7 @@ fn main() {
             "ablations",
             "extensions",
             "batch",
+            "robustness",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -64,6 +65,11 @@ fn main() {
             }
             "batch" => {
                 timings.time("batch", batch_scaling::run);
+            }
+            "robustness" => {
+                timings.time("robustness", || {
+                    robustness::run();
+                });
             }
             "extensions" => {
                 timings.time("extensions", || {

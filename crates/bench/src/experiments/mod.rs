@@ -14,6 +14,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig5;
 pub mod fig9;
+pub mod robustness;
 
 use crate::cohort::{eval_config, run_cohort, VolunteerRun};
 use std::sync::OnceLock;

@@ -1,0 +1,223 @@
+//! Robustness: personalization quality vs. fault intensity.
+//!
+//! Sweeps each injectable fault class from mild to severe through
+//! `personalize_faulted` and measures what graceful degradation salvages:
+//! how many stops survive, the mean stop quality, and how close the
+//! degraded HRTF stays to the clean run (mean far-field HRIR similarity).
+//!
+//! Writes `bench_results/robustness.csv` and
+//! `bench_results/robustness.json`.
+
+use crate::csv::write_csv;
+use std::path::Path;
+use uniq_core::degrade::DegradationPolicy;
+use uniq_core::pipeline::personalize_faulted;
+use uniq_core::UniqConfig;
+use uniq_faults::FaultPlan;
+use uniq_subjects::Subject;
+
+/// One sweep point: a fault plan spec with an intensity knob.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Fault class swept.
+    pub class: &'static str,
+    /// The intensity value on the class's natural axis (dB, level,
+    /// stop count, stream fraction).
+    pub intensity: f64,
+    /// The plan spec run at this point.
+    pub spec: String,
+}
+
+/// One measured row of the sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// The swept point.
+    pub point: SweepPoint,
+    /// Whether personalization completed.
+    pub ok: bool,
+    /// Stops surviving degradation.
+    pub stops_used: usize,
+    /// Stops dropped after retries.
+    pub stops_dropped: usize,
+    /// Retry captures spent.
+    pub retries: usize,
+    /// Mean quality over surviving stops.
+    pub mean_quality: f64,
+    /// Mean far-field HRIR similarity to the clean (no-fault) run.
+    pub sim_to_clean: f64,
+}
+
+/// The swept intensities, mild to severe, per class.
+pub fn sweep_points() -> Vec<SweepPoint> {
+    let mut pts = Vec::new();
+    for snr in [6.0, 0.0, -6.0, -12.0] {
+        pts.push(SweepPoint {
+            class: uniq_faults::class::SNR,
+            intensity: snr,
+            spec: format!("snr:{snr}@4"),
+        });
+    }
+    for level in [0.8, 0.6, 0.45, 0.35] {
+        pts.push(SweepPoint {
+            class: uniq_faults::class::CLIP,
+            intensity: level,
+            spec: format!("clip:{level}"),
+        });
+    }
+    for dropped in [1usize, 2, 3] {
+        let spec = ["drop@2", "drop@5", "drop@7"][..dropped].join(",");
+        pts.push(SweepPoint {
+            class: uniq_faults::class::DROP,
+            intensity: dropped as f64,
+            spec,
+        });
+    }
+    for length in [0.02, 0.05, 0.1, 0.2] {
+        pts.push(SweepPoint {
+            class: uniq_faults::class::GYRO_DROPOUT,
+            intensity: length,
+            spec: format!("gyro-dropout:0.45:{length}"),
+        });
+    }
+    pts
+}
+
+/// Runs the sweep and returns the rows for assertions in tests.
+pub fn run() -> Vec<RobustnessRow> {
+    println!("\n== robustness: personalization quality vs fault intensity ==");
+    let cfg = UniqConfig {
+        in_room: false,
+        snr_db: 45.0,
+        grid_step_deg: 15.0,
+        ..UniqConfig::fast_test()
+    };
+    let seed = 6u64;
+    let subject = Subject::from_seed(seed);
+    let policy = DegradationPolicy::default();
+
+    // The clean run is the reference every degraded HRTF is compared to.
+    let clean = personalize_faulted(&subject, &cfg, seed, &FaultPlan::empty(), &policy)
+        .expect("clean reference run");
+    let clean_far = clean.result.hrtf.far();
+
+    let mut rows = Vec::new();
+    for point in sweep_points() {
+        let plan = FaultPlan::parse(&point.spec, seed).expect("sweep spec parses");
+        let row = match personalize_faulted(&subject, &cfg, seed, &plan, &policy) {
+            Ok(f) => {
+                let sims: Vec<f64> = f
+                    .result
+                    .hrtf
+                    .far()
+                    .irs()
+                    .iter()
+                    .zip(clean_far.irs())
+                    .map(|(est, reference)| {
+                        let (l, r) = est.similarity(reference);
+                        (l + r) / 2.0
+                    })
+                    .collect();
+                let sim = sims.iter().sum::<f64>() / sims.len().max(1) as f64;
+                RobustnessRow {
+                    point: point.clone(),
+                    ok: true,
+                    stops_used: f.degradation.stops_used,
+                    stops_dropped: f.degradation.stops_dropped,
+                    retries: f.degradation.retries,
+                    mean_quality: f.degradation.mean_quality,
+                    sim_to_clean: sim,
+                }
+            }
+            Err(e) => {
+                println!("    {:<22} FAILED: {e}", point.spec);
+                RobustnessRow {
+                    point: point.clone(),
+                    ok: false,
+                    stops_used: 0,
+                    stops_dropped: 0,
+                    retries: 0,
+                    mean_quality: 0.0,
+                    sim_to_clean: f64::NAN,
+                }
+            }
+        };
+        println!(
+            "  {:<14} intensity {:>6.2}  {}  stops {}/{}  quality {:.3}  sim {:.4}",
+            row.point.class,
+            row.point.intensity,
+            if row.ok { "ok  " } else { "FAIL" },
+            row.stops_used,
+            row.stops_used + row.stops_dropped,
+            row.mean_quality,
+            row.sim_to_clean,
+        );
+        rows.push(row);
+    }
+
+    let classes: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for r in &rows {
+            if !seen.contains(&r.point.class) {
+                seen.push(r.point.class);
+            }
+        }
+        seen
+    };
+    let csv_rows: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                classes.iter().position(|c| *c == r.point.class).unwrap() as f64,
+                r.point.intensity,
+                if r.ok { 1.0 } else { 0.0 },
+                r.stops_used as f64,
+                r.stops_dropped as f64,
+                r.retries as f64,
+                r.mean_quality,
+                r.sim_to_clean,
+            ]
+        })
+        .collect();
+    write_csv(
+        "robustness",
+        &[
+            "class_id",
+            "intensity",
+            "ok",
+            "stops_used",
+            "stops_dropped",
+            "retries",
+            "mean_quality",
+            "sim_to_clean",
+        ],
+        &csv_rows,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"class\": \"{}\", \"intensity\": {}, \"spec\": \"{}\", \"ok\": {}, \
+             \"stops_used\": {}, \"stops_dropped\": {}, \"retries\": {}, \
+             \"mean_quality\": {:.6}, \"sim_to_clean\": {:.6}}}{}\n",
+            r.point.class,
+            r.point.intensity,
+            r.point.spec,
+            r.ok,
+            r.stops_used,
+            r.stops_dropped,
+            r.retries,
+            r.mean_quality,
+            r.sim_to_clean,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all(crate::RESULTS_DIR).expect("create bench_results");
+    let json_path = Path::new(crate::RESULTS_DIR).join("robustness.json");
+    std::fs::write(&json_path, json).expect("write robustness.json");
+    println!("  → wrote {}", json_path.display());
+
+    rows
+}

@@ -5,7 +5,9 @@ use std::path::Path;
 use std::sync::Arc;
 use uniq_acoustics::signals::SignalKind;
 use uniq_core::config::UniqConfig;
-use uniq_core::pipeline::personalize_with_retry;
+use uniq_core::degrade::DegradationPolicy;
+use uniq_core::pipeline::{personalize_faulted_with_retry, personalize_with_retry};
+use uniq_faults::FaultPlan;
 use uniq_obs::report::Report;
 use uniq_obs::sink::{JsonLinesSink, MemorySink, MultiSink, Sink, StderrSink};
 use uniq_profile::ProfileSink;
@@ -19,20 +21,44 @@ use uniq_subjects::Subject;
 /// observability event as JSON lines. Both observe the same run — neither
 /// changes the pipeline's numeric output.
 pub fn run(args: &Args) -> Result<String, String> {
-    run_observed(args, None)
+    run_observed(args, None, dispatch)
+}
+
+/// `uniq faults <command> …`: runs the wrapped command with a fault plan
+/// injected at the signal boundaries (see `uniq-faults`). Only
+/// `personalize` supports injection; the degradation report is appended
+/// to the command's output. The wrapped command's failure — and its
+/// nonzero exit status — propagates unchanged (see [`exit_code`]).
+pub fn run_faults(args: &Args) -> Result<String, String> {
+    run_observed(args, None, dispatch_faulted)
+}
+
+/// Maps a command outcome to the process exit status. Shared by every
+/// wrapper (`profile`, `faults`, and their compositions) so a wrapped
+/// command that fails always surfaces a nonzero status — wrappers must
+/// never swallow it.
+pub fn exit_code<T>(result: &Result<T, String>) -> i32 {
+    match result {
+        Ok(_) => 0,
+        Err(_) => 1,
+    }
 }
 
 /// Runs `args` under the requested observability sinks plus an optional
 /// `extra` sink (the profiler). One shared assembly point so `uniq
 /// profile <command> --trace --metrics-out F` composes instead of the
 /// inner scope shadowing the profiler (innermost sink wins in uniq-obs).
-fn run_observed(args: &Args, extra: Option<Arc<dyn Sink>>) -> Result<String, String> {
+fn run_observed(
+    args: &Args,
+    extra: Option<Arc<dyn Sink>>,
+    dispatch_fn: fn(&Args) -> Result<String, String>,
+) -> Result<String, String> {
     let trace = args.switch("trace");
     let metrics_out = args.get("metrics-out");
     if !trace && metrics_out.is_none() {
         return match extra {
-            Some(sink) => uniq_obs::with_sink(sink, || dispatch(args)),
-            None => dispatch(args),
+            Some(sink) => uniq_obs::with_sink(sink, || dispatch_fn(args)),
+            None => dispatch_fn(args),
         };
     }
 
@@ -48,7 +74,7 @@ fn run_observed(args: &Args, extra: Option<Arc<dyn Sink>>) -> Result<String, Str
     }
     sinks.extend(extra);
     let multi = Arc::new(MultiSink::new(sinks));
-    let result = uniq_obs::with_sink(multi.clone(), || dispatch(args));
+    let result = uniq_obs::with_sink(multi.clone(), || dispatch_fn(args));
     // Push buffered sinks (JSON lines) to disk even on error paths.
     multi.flush();
     if trace {
@@ -68,8 +94,22 @@ fn run_observed(args: &Args, extra: Option<Arc<dyn Sink>>) -> Result<String, Str
 /// the numeric output is bit-identical (asserted by the workspace
 /// `profiling` integration test).
 pub fn run_profile(args: &Args) -> Result<String, String> {
+    profile_with(args, dispatch)
+}
+
+/// `uniq profile faults <command> …`: the profiler wrapped around a
+/// faulted run — both layers compose, and the wrapped command's failure
+/// still propagates.
+pub fn run_profile_faults(args: &Args) -> Result<String, String> {
+    profile_with(args, dispatch_faulted)
+}
+
+fn profile_with(
+    args: &Args,
+    dispatch_fn: fn(&Args) -> Result<String, String>,
+) -> Result<String, String> {
     let profile = Arc::new(ProfileSink::new());
-    let result = run_observed(args, Some(profile.clone()));
+    let result = run_observed(args, Some(profile.clone()), dispatch_fn);
     let report = profile.report();
     if let Some(path) = args.get("profile-out") {
         std::fs::write(Path::new(path), report.to_json())
@@ -95,6 +135,74 @@ fn dispatch(args: &Args) -> Result<String, String> {
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
+}
+
+fn dispatch_faulted(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "personalize" => personalize_faulted_cmd(args),
+        "help" | "--help" => Ok(usage()),
+        other => Err(format!(
+            "`faults` wraps personalize only, not {other:?}\n\n{}",
+            usage()
+        )),
+    }
+}
+
+fn personalize_faulted_cmd(args: &Args) -> Result<String, String> {
+    let seed = args.get_u64("seed", 42).map_err(|e| e.to_string())?;
+    let grid = args.get_f64("grid", 5.0).map_err(|e| e.to_string())?;
+    let snr = args.get_f64("snr", 35.0).map_err(|e| e.to_string())?;
+    let cfg = UniqConfig {
+        in_room: !args.switch("anechoic"),
+        grid_step_deg: grid,
+        snr_db: snr,
+        ..UniqConfig::default()
+    };
+
+    let spec = args.require("fault-plan").map_err(|e| e.to_string())?;
+    let fault_seed = args
+        .get_u64("fault-seed", seed)
+        .map_err(|e| e.to_string())?;
+    let plan = FaultPlan::parse(spec, fault_seed).map_err(|e| format!("--fault-plan: {e}"))?;
+    let retries = args
+        .get_u64("fault-retries", 1)
+        .map_err(|e| e.to_string())? as usize;
+    let policy = DegradationPolicy {
+        stop_retries: retries,
+        skip_failed_stops: !args.switch("no-skip"),
+        ..DegradationPolicy::default()
+    };
+
+    let subject = Subject::from_seed(seed);
+    let faulted = personalize_faulted_with_retry(&subject, &cfg, seed, &plan, &policy, 3)
+        .map_err(|e| format!("personalization failed under faults: {e}"))?;
+
+    if let Some(path) = args.get("fault-report") {
+        std::fs::write(Path::new(path), faulted.degradation.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let result = &faulted.result;
+    let mut lines = vec![format!(
+        "personalized subject {seed} under fault plan {spec:?} in {} attempt(s)\n\
+         fitted head: a={:.3} b={:.3} c={:.3} (residual {:.1}°)",
+        result.attempts,
+        result.fusion.head.a,
+        result.fusion.head.b,
+        result.fusion.head.c,
+        result.fusion.mean_residual_deg,
+    )];
+    lines.push(format!("{}", faulted.degradation));
+    if let Some(out) = args.get("out") {
+        uniq_core::io::save(&result.hrtf, Path::new(out))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        lines.push(format!(
+            "table written to {out} ({} near + {} far angles)",
+            result.hrtf.near().len(),
+            result.hrtf.far().len(),
+        ));
+    }
+    Ok(lines.join("\n"))
 }
 
 /// The usage text.
@@ -126,7 +234,18 @@ pub fn usage() -> String {
      \x20     run any command under the profiler; prints a per-stage latency\n\
      \x20     table (count/total/p50/p90/p99/max, per-thread attribution) and\n\
      \x20     optionally writes JSON (--profile-out) and collapsed-stack\n\
-     \x20     flamegraph lines (--flame-out)\n"
+     \x20     flamegraph lines (--flame-out)\n\
+     \n\
+     fault injection:\n\
+     \x20 faults personalize --fault-plan SPEC [--fault-seed N] [--fault-retries R]\n\
+     \x20        [--no-skip] [--fault-report FILE] [--out FILE] [usual flags...]\n\
+     \x20     personalize under a deterministic fault plan with graceful\n\
+     \x20     degradation (skip/retry corrupted stops, re-weighted fusion);\n\
+     \x20     prints the degradation report, optionally as JSON (--fault-report)\n\
+     \x20     SPEC: comma-separated name[:param[:param]][@stop][~], e.g.\n\
+     \x20     \"drop@2,snr:-12@4,clip:0.35\" — classes: drop truncate clip snr\n\
+     \x20     gyro-dropout gyro-sat jitter dup reorder; trailing ~ = transient\n\
+     \x20     (heals on retry); composes with profile: uniq profile faults …\n"
         .to_string()
 }
 
@@ -386,7 +505,7 @@ mod tests {
 
     fn argv(s: &str) -> Args {
         let raw: Vec<String> = s.split_whitespace().map(String::from).collect();
-        Args::parse(&raw, &["anechoic", "near", "trace"]).unwrap()
+        Args::parse(&raw, &["anechoic", "near", "trace", "no-skip"]).unwrap()
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -554,6 +673,52 @@ mod tests {
             uniq_profile::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
         assert!(doc.get("schema_version").is_some());
         std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn faulted_personalize_reports_degradation() {
+        let report = temp_path("deg.json");
+        let out = run_faults(&argv(&format!(
+            "personalize --seed 6 --anechoic --grid 15 --snr 45 \
+             --fault-plan drop@2 --fault-report {}",
+            report.display()
+        )))
+        .expect("faulted personalize");
+        assert!(out.contains("fault plan"), "no plan echo: {out}");
+        assert!(out.contains("degradation:"), "no report: {out}");
+        assert!(out.contains("drop"), "fault class missing: {out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"stops_dropped\""), "bad report: {json}");
+        std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn faults_wraps_personalize_only() {
+        let err = run_faults(&argv("info --table /tmp/x.uniqhrtf")).unwrap_err();
+        assert!(err.contains("wraps personalize only"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_plan_reported() {
+        let err = run_faults(&argv(
+            "personalize --seed 6 --anechoic --grid 15 --fault-plan warp@2",
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown fault class"), "{err}");
+    }
+
+    #[test]
+    fn exit_code_propagates_wrapped_failures() {
+        // The fix under test: a failing command wrapped by `faults` (or
+        // `profile faults`) must map to a nonzero exit status, never 0.
+        assert_eq!(exit_code(&Ok::<_, String>("fine".to_string())), 0);
+        let failing = run_faults(&argv("personalize --seed 6 --anechoic --fault-plan warp@2"));
+        assert_eq!(exit_code(&failing), 1);
+        let missing_plan = run_faults(&argv("personalize --seed 6 --anechoic"));
+        assert_eq!(exit_code(&missing_plan), 1);
+        let profiled =
+            run_profile_faults(&argv("personalize --seed 6 --anechoic --fault-plan warp@2"));
+        assert_eq!(exit_code(&profiled), 1);
     }
 
     #[test]

@@ -7,39 +7,52 @@ use uniq_cli::commands;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    // `profile` wraps another command (`uniq profile personalize …`), so
-    // it is peeled off before Args::parse, which allows exactly one
-    // positional.
-    let (profiled, rest) = match raw.first().map(String::as_str) {
-        Some("profile") => (true, &raw[1..]),
-        _ => (false, &raw[..]),
-    };
-    if profiled && rest.is_empty() {
+    // `profile` and `faults` wrap another command (`uniq profile faults
+    // personalize …`), so wrapper words are peeled off before Args::parse,
+    // which allows exactly one positional. Each wrapper may appear once,
+    // in either order.
+    let mut profiled = false;
+    let mut faulted = false;
+    let mut rest: &[String] = &raw[..];
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("profile") if !profiled => profiled = true,
+            Some("faults") if !faulted => faulted = true,
+            _ => break,
+        }
+        rest = &rest[1..];
+    }
+    if (profiled || faulted) && rest.is_empty() {
         eprintln!(
-            "error: profile needs a command to run\n\n{}",
+            "error: {} needs a command to run\n\n{}",
+            if faulted { "faults" } else { "profile" },
             commands::usage()
         );
         std::process::exit(2);
     }
-    let parsed = match Args::parse(rest, &["anechoic", "near", "trace"]) {
+    let parsed = match Args::parse(rest, &["anechoic", "near", "trace", "no-skip"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::usage());
             std::process::exit(2);
         }
     };
-    let result = if profiled {
-        commands::run_profile(&parsed)
-    } else {
-        commands::run(&parsed)
+    let result = match (profiled, faulted) {
+        (true, true) => commands::run_profile_faults(&parsed),
+        (true, false) => commands::run_profile(&parsed),
+        (false, true) => commands::run_faults(&parsed),
+        (false, false) => commands::run(&parsed),
     };
     // Buffered sinks installed process-wide must not lose their tail.
     uniq_obs::flush_global_sink();
+    // One shared mapping from outcome to exit status, so wrappers never
+    // swallow a wrapped command's failure.
+    let code = commands::exit_code(&result);
     match result {
         Ok(report) => println!("{report}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -42,7 +42,7 @@ impl EstimatedChannel {
 /// against the RMS of everything strictly before it. Returns `None` when
 /// there are no pre-tap samples or the floor is exactly zero (noise-free
 /// synthetic channels have no meaningful SNR).
-fn first_tap_snr_db(sig: &[f64], tap_position: f64) -> Option<f64> {
+pub(crate) fn first_tap_snr_db(sig: &[f64], tap_position: f64) -> Option<f64> {
     let cut = (tap_position.floor() as usize).min(sig.len());
     // Leave a guard of a few samples before the tap out of the floor: the
     // tap's own rising edge is signal, not noise.
@@ -63,6 +63,64 @@ fn first_tap_snr_db(sig: &[f64], tap_position: f64) -> Option<f64> {
         return None;
     }
     Some(20.0 * (peak / floor_rms).log10())
+}
+
+/// Quality score floor and ceiling of the first-tap SNR component, dB.
+/// Below `SNR_FLOOR_DB` a tap is indistinguishable from the noise floor
+/// (score 0); at or above `SNR_FULL_DB` the estimate is as good as a clean
+/// capture gets (score exactly 1, so healthy stops keep unit weight in the
+/// re-weighted fusion and the clean path stays bit-identical).
+const QUALITY_SNR_FLOOR_DB: f64 = 3.0;
+const QUALITY_SNR_FULL_DB: f64 = 18.0;
+
+/// Longest physically plausible first-tap path difference between the two
+/// ears, metres. The anthropometric box tops out near 0.15 m half-width;
+/// with diffraction wrap no real geometry exceeds this — a larger |Δt|
+/// means the taps latched onto noise or clipping artefacts.
+const QUALITY_MAX_ITD_PATH_M: f64 = 0.40;
+
+/// Per-stop quality of an estimated channel, `[0, 1]`.
+///
+/// Used by the degradation policy of faulted sessions to decide which
+/// stops to keep and how to weight them in fusion. The score is `1.0` for
+/// any healthy capture (SNR saturates well below clean operating points),
+/// so scoring a clean session never perturbs it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopQuality {
+    /// Worst-ear first-tap SNR, dB (`None` when no pre-tap floor exists —
+    /// treated as clean).
+    pub snr_db: Option<f64>,
+    /// Whether the inter-ear tap delay is physically plausible.
+    pub itd_ok: bool,
+    /// Combined score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Scores an estimated channel: first-tap SNR (worst ear) mapped onto
+/// `[0, 1]`, zeroed outright when the inter-ear delay is physically
+/// impossible for any head in the anthropometric box.
+pub fn stop_quality(channel: &EstimatedChannel, cfg: &UniqConfig) -> StopQuality {
+    let left = first_tap_snr_db(&channel.ir.left, channel.tap_left);
+    let right = first_tap_snr_db(&channel.ir.right, channel.tap_right);
+    let snr_db = match (left, right) {
+        (Some(l), Some(r)) => Some(l.min(r)),
+        (Some(v), None) | (None, Some(v)) => Some(v),
+        (None, None) => None,
+    };
+    let snr_score = match snr_db {
+        // No measurable floor = synthetic/noise-free channel: clean.
+        None => 1.0,
+        Some(snr) => ((snr - QUALITY_SNR_FLOOR_DB) / (QUALITY_SNR_FULL_DB - QUALITY_SNR_FLOOR_DB))
+            .clamp(0.0, 1.0),
+    };
+    let itd_path_m =
+        (channel.relative_delay() / cfg.render.sample_rate * cfg.render.speed_of_sound).abs();
+    let itd_ok = itd_path_m <= QUALITY_MAX_ITD_PATH_M;
+    StopQuality {
+        snr_db,
+        itd_ok,
+        score: if itd_ok { snr_score } else { 0.0 },
+    }
 }
 
 /// Errors from channel estimation.
@@ -267,6 +325,38 @@ mod tests {
             s
         };
         assert_eq!(super::first_tap_snr_db(&clean, 32.0), None);
+    }
+
+    #[test]
+    fn stop_quality_saturates_for_clean_captures() {
+        let c = cfg();
+        let r = renderer(&c);
+        let (setup, sys_ir) = calibrated_system(&c);
+        let rec = record_point_source(&r, &setup, Vec2::new(-0.4, 0.15), &c.probe(), 1).unwrap();
+        let est = estimate_channel(&rec, &c.probe(), &sys_ir, &c).unwrap();
+        let q = stop_quality(&est, &c);
+        assert!(q.itd_ok);
+        assert_eq!(
+            q.score, 1.0,
+            "clean capture must score exactly 1.0 (snr {:?})",
+            q.snr_db
+        );
+    }
+
+    #[test]
+    fn stop_quality_zeroes_impossible_itd() {
+        let c = cfg();
+        let mut ir = vec![0.0; 512];
+        ir[40] = 1.0;
+        let est = EstimatedChannel {
+            ir: BinauralIr::new(ir.clone(), ir),
+            tap_left: 40.0,
+            // Δt of 200 samples ≈ 1.4 m of path difference: impossible.
+            tap_right: 240.0,
+        };
+        let q = stop_quality(&est, &c);
+        assert!(!q.itd_ok);
+        assert_eq!(q.score, 0.0);
     }
 
     #[test]

@@ -128,8 +128,16 @@ pub fn localize_phone(
 }
 
 /// Eq. 2 objective: Σ angle_diff(α_i, θ_i(E))², with a fixed penalty for
-/// stops that fail to localize under this hypothesis.
-fn fusion_objective(e: &[f64], inputs: &[FusionInput], resolution: usize) -> f64 {
+/// stops that fail to localize under this hypothesis. With `weights`, each
+/// stop's term (and its penalty) scales by its weight — downweighting
+/// degraded stops. `None` keeps the exact unweighted arithmetic (no
+/// multiplications by 1.0), so the clean path stays bit-identical.
+fn fusion_objective(
+    e: &[f64],
+    inputs: &[FusionInput],
+    weights: Option<&[f64]>,
+    resolution: usize,
+) -> f64 {
     for (v, (lo, hi)) in e.iter().zip(BOX) {
         if !(lo..=hi).contains(v) {
             return f64::INFINITY;
@@ -139,12 +147,17 @@ fn fusion_objective(e: &[f64], inputs: &[FusionInput], resolution: usize) -> f64
     let penalty = 30f64.powi(2);
     inputs
         .iter()
-        .map(
-            |inp| match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
+        .enumerate()
+        .map(|(k, inp)| {
+            let term = match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
                 Some(loc) => angle_diff_deg(inp.alpha_deg, loc.theta_deg).powi(2),
                 None => penalty,
-            },
-        )
+            };
+            match weights {
+                None => term,
+                Some(w) => w[k] * term,
+            }
+        })
         .sum()
 }
 
@@ -154,10 +167,30 @@ fn fusion_objective(e: &[f64], inputs: &[FusionInput], resolution: usize) -> f64
 /// Returns `None` when no hypothesis localizes a majority of stops —
 /// a hopeless measurement set.
 pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
+    fuse_weighted(inputs, None, cfg)
+}
+
+/// [`fuse`] with optional per-stop quality weights in `[0, 1]` (same
+/// order/length as `inputs`), used by degraded sessions to let surviving
+/// high-quality stops dominate Eq. 2 and the mean residual. `None` — and
+/// only `None` — takes the exact unweighted code path; callers on the
+/// clean path must pass `None` rather than a slice of ones.
+///
+/// # Panics
+/// Panics if fewer than 4 inputs are given, or if `weights` is `Some` with
+/// a length different from `inputs`.
+pub fn fuse_weighted(
+    inputs: &[FusionInput],
+    weights: Option<&[f64]>,
+    cfg: &UniqConfig,
+) -> Option<FusionResult> {
     assert!(inputs.len() >= 4, "fusion needs at least 4 stops");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), inputs.len(), "one weight per fusion input");
+    }
     let _span = uniq_obs::span(uniq_obs::names::SPAN_FUSION);
     let resolution = cfg.inverse_resolution;
-    let objective = |e: &[f64]| fusion_objective(e, inputs, resolution);
+    let objective = |e: &[f64]| fusion_objective(e, inputs, weights, resolution);
 
     let seed = HeadParams::average_adult();
     let opts = NelderMeadOptions {
@@ -176,8 +209,9 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
     let mut stops = Vec::with_capacity(inputs.len());
     let mut final_thetas = Vec::with_capacity(inputs.len());
     let mut residual_sum = 0.0;
+    let mut weight_sum = 0.0;
     let mut localized = 0usize;
-    for inp in inputs {
+    for (k, inp) in inputs.iter().enumerate() {
         match localize_phone(&boundary, inp.d_left_m, inp.d_right_m, inp.alpha_deg) {
             Some(loc) => {
                 let stop_residual = angle_diff_deg(inp.alpha_deg, loc.theta_deg);
@@ -186,7 +220,13 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
                     stop_residual,
                     "deg",
                 );
-                residual_sum += stop_residual;
+                match weights {
+                    None => residual_sum += stop_residual,
+                    Some(w) => {
+                        residual_sum += w[k] * stop_residual;
+                        weight_sum += w[k];
+                    }
+                }
                 // Eq. 3: average the acoustic and inertial angles — along
                 // the shorter arc, so 359° and 1° blend to 0°, not 180°.
                 final_thetas.push(circular_blend(inp.alpha_deg, loc.theta_deg, 0.5));
@@ -213,9 +253,16 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
     if localized * 2 < inputs.len() {
         return None;
     }
+    let mean_residual = match weights {
+        None => residual_sum / localized as f64,
+        // Weighted mean over localized stops; if every localized stop has
+        // zero weight nothing is trustworthy — force the §4.6 gate.
+        Some(_) if weight_sum > 0.0 => residual_sum / weight_sum,
+        Some(_) => f64::INFINITY,
+    };
     uniq_obs::metric(
         uniq_obs::names::FUSION_MEAN_RESIDUAL_DEG,
-        residual_sum / localized as f64,
+        mean_residual,
         "deg",
     );
     uniq_obs::metric(uniq_obs::names::FUSION_OBJECTIVE, fit.fx, "deg^2");
@@ -224,7 +271,7 @@ pub fn fuse(inputs: &[FusionInput], cfg: &UniqConfig) -> Option<FusionResult> {
         head,
         stops,
         final_thetas_deg: final_thetas,
-        mean_residual_deg: residual_sum / localized as f64,
+        mean_residual_deg: mean_residual,
         objective: fit.fx,
     })
 }
@@ -389,6 +436,47 @@ mod tests {
                 stop.radius_m
             );
         }
+    }
+
+    #[test]
+    fn weighted_fusion_discounts_a_corrupted_stop() {
+        // Corrupt one stop's IMU angle badly. Downweighting that stop must
+        // shrink the reported mean residual relative to the unweighted run.
+        let truth = HeadParams::average_adult();
+        let mut inputs = synthetic_inputs(truth, 0.42, 10);
+        inputs[4].alpha_deg += 25.0;
+        let cfg = test_cfg();
+        let unweighted = fuse(&inputs, &cfg).expect("unweighted fusion converges");
+        let mut weights = vec![1.0; inputs.len()];
+        weights[4] = 0.05;
+        let weighted =
+            fuse_weighted(&inputs, Some(&weights), &cfg).expect("weighted fusion converges");
+        assert!(
+            weighted.mean_residual_deg < unweighted.mean_residual_deg,
+            "weighted {} vs unweighted {}",
+            weighted.mean_residual_deg,
+            unweighted.mean_residual_deg
+        );
+    }
+
+    #[test]
+    fn unit_weights_not_required_for_clean_equivalence() {
+        // `None` is the contract for the clean path; all-ones weights go
+        // through the weighted arithmetic and may differ in the last ulp,
+        // but must stay numerically indistinguishable.
+        let inputs = synthetic_inputs(HeadParams::average_adult(), 0.40, 8);
+        let cfg = test_cfg();
+        let none = fuse(&inputs, &cfg).unwrap();
+        let ones = fuse_weighted(&inputs, Some(&vec![1.0; inputs.len()]), &cfg).unwrap();
+        assert!((none.mean_residual_deg - ones.mean_residual_deg).abs() < 1e-9);
+        assert!((none.head.a - ones.head.a).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per fusion input")]
+    fn mismatched_weights_rejected() {
+        let inputs = synthetic_inputs(HeadParams::average_adult(), 0.4, 8);
+        fuse_weighted(&inputs, Some(&[1.0; 3]), &test_cfg());
     }
 
     #[test]

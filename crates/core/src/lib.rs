@@ -28,6 +28,8 @@
 //! * [`config`] — every knob of the pipeline in one validated struct.
 //! * [`channel`] — channel estimation from recordings: deconvolution,
 //!   system-response compensation, room-echo gating, first-tap extraction.
+//! * [`degrade`] — graceful degradation under measurement faults: the
+//!   fault-hook boundary, skip/retry policy and degradation reports.
 //! * [`session`] — the measurement session: gesture, IMU capture, probe
 //!   playback at discrete stops (drives `uniq-acoustics` + `uniq-imu`).
 //! * [`fusion`] — diffraction-aware sensor fusion (§4.1, Eqs 1–3): joint
@@ -61,6 +63,7 @@ pub mod batch;
 pub mod beamform;
 pub mod channel;
 pub mod config;
+pub mod degrade;
 pub mod fusion;
 pub mod fusion3d;
 pub mod hrtf;
@@ -72,5 +75,9 @@ pub mod session;
 pub mod sync;
 
 pub use config::UniqConfig;
+pub use degrade::{DegradationPolicy, DegradationReport, FaultHook};
 pub use hrtf::PersonalHrtf;
-pub use pipeline::{personalize, PersonalizationError, PersonalizationResult};
+pub use pipeline::{
+    personalize, personalize_faulted, FaultedPersonalization, PersonalizationError,
+    PersonalizationResult,
+};

@@ -8,10 +8,11 @@
 //! message to the user to redo the measurement exercise").
 
 use crate::config::{ConfigError, UniqConfig};
-use crate::fusion::{fuse, session_to_inputs, FusionResult};
+use crate::degrade::{DegradationPolicy, DegradationReport, FaultHook};
+use crate::fusion::{fuse_weighted, session_to_inputs, FusionResult};
 use crate::hrtf::PersonalHrtf;
 use crate::nearfield::{assemble_discrete, interpolate, mean_radius};
-use crate::session::{run_session, SessionError};
+use crate::session::{run_session, run_session_faulted, SessionData, SessionError};
 use uniq_subjects::Subject;
 
 /// Why a personalization attempt failed.
@@ -80,8 +81,18 @@ pub fn personalize(
     let _span = uniq_obs::span(uniq_obs::names::SPAN_PERSONALIZE);
     let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Session)?;
     let inputs = session_to_inputs(&session, cfg);
-    let fusion = fuse(&inputs, cfg).ok_or(PersonalizationError::FusionFailed)?;
+    let fusion = fuse_weighted(&inputs, None, cfg).ok_or(PersonalizationError::FusionFailed)?;
+    finish_pipeline(session, fusion, cfg)
+}
 
+/// The post-fusion tail shared by the clean and faulted pipelines: the
+/// §4.6 gate, near-field assembly/interpolation, near-far conversion and
+/// result packing. Identical arithmetic for both callers.
+fn finish_pipeline(
+    session: SessionData,
+    fusion: FusionResult,
+    cfg: &UniqConfig,
+) -> Result<PersonalizationResult, PersonalizationError> {
     // §4.6 gesture auto-correction.
     let radius = mean_radius(&fusion);
     uniq_obs::metric(uniq_obs::names::PERSONALIZE_RADIUS_M, radius, "m");
@@ -153,6 +164,98 @@ pub fn personalize_with_retry(
             Ok(mut r) => {
                 r.attempts = attempt + 1;
                 uniq_obs::metric(uniq_obs::names::PERSONALIZE_ATTEMPTS, r.attempts as f64, "");
+                return Ok(r);
+            }
+            Err(e @ PersonalizationError::GestureRejected { .. }) => {
+                if attempt + 1 < max_attempts {
+                    uniq_obs::counter(uniq_obs::names::GESTURE_RETRY, 1);
+                }
+                last_err = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err)
+}
+
+/// A personalization that ran under fault injection: the result plus the
+/// degradation record of its (last) measurement session.
+#[derive(Debug, Clone)]
+pub struct FaultedPersonalization {
+    /// The personalization output (same shape as the clean pipeline's).
+    pub result: PersonalizationResult,
+    /// What the degraded session kept, dropped and saw.
+    pub degradation: DegradationReport,
+}
+
+/// Runs one personalization attempt under a [`FaultHook`], degrading the
+/// session per `policy` and re-weighting fusion by per-stop quality when
+/// `policy.reweight_fusion` is set (healthy stops keep weight 1.0, so a
+/// session no fault touched drives the exact unweighted arithmetic).
+///
+/// With a no-op hook, the output is bit-identical to [`personalize`] —
+/// the conformance suite in `tests/robustness.rs` pins that contract.
+pub fn personalize_faulted(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+    hook: &dyn FaultHook,
+    policy: &DegradationPolicy,
+) -> Result<FaultedPersonalization, PersonalizationError> {
+    cfg.validate()
+        .map_err(PersonalizationError::InvalidConfig)?;
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_PERSONALIZE);
+    let (session, degradation) = {
+        let _faults_span = uniq_obs::span(uniq_obs::names::SPAN_FAULTS);
+        run_session_faulted(subject, cfg, seed, hook, policy)
+            .map_err(PersonalizationError::Session)?
+    };
+    let inputs = session_to_inputs(&session, cfg);
+    let weights = degradation.fusion_weights();
+    // Pass weights only when some stop is actually degraded: `None` is the
+    // contract that keeps the clean arithmetic bit-identical.
+    let weights = if policy.reweight_fusion && weights.iter().any(|&w| w < 1.0) {
+        Some(weights)
+    } else {
+        None
+    };
+    let fusion = fuse_weighted(&inputs, weights.as_deref(), cfg)
+        .ok_or(PersonalizationError::FusionFailed)?;
+    let result = finish_pipeline(session, fusion, cfg)?;
+    uniq_obs::metric(
+        uniq_obs::names::DEGRADATION_MEAN_QUALITY,
+        degradation.mean_quality,
+        "",
+    );
+    Ok(FaultedPersonalization {
+        result,
+        degradation,
+    })
+}
+
+/// [`personalize_faulted`] with the §4.6 retry loop: gesture rejections
+/// re-run the whole faulted session with a fresh seed (same reseeding
+/// schedule as [`personalize_with_retry`]), up to `max_attempts` times.
+pub fn personalize_faulted_with_retry(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+    hook: &dyn FaultHook,
+    policy: &DegradationPolicy,
+    max_attempts: usize,
+) -> Result<FaultedPersonalization, PersonalizationError> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let mut last_err = PersonalizationError::FusionFailed;
+    for attempt in 0..max_attempts {
+        let attempt_seed = seed.wrapping_add(10_000 * attempt as u64);
+        match personalize_faulted(subject, cfg, attempt_seed, hook, policy) {
+            Ok(mut r) => {
+                r.result.attempts = attempt + 1;
+                uniq_obs::metric(
+                    uniq_obs::names::PERSONALIZE_ATTEMPTS,
+                    r.result.attempts as f64,
+                    "",
+                );
                 return Ok(r);
             }
             Err(e @ PersonalizationError::GestureRejected { .. }) => {

@@ -8,11 +8,16 @@
 //! orientation, and the known probe — plus ground truth kept *only* for
 //! evaluation.
 
-use crate::channel::{estimate_channel, ChannelError, EstimatedChannel};
+use crate::channel::{estimate_channel, stop_quality, ChannelError, EstimatedChannel};
 use crate::config::UniqConfig;
-use uniq_acoustics::measure::{record_point_source, MeasurementSetup};
-use uniq_imu::gyro::integrate_rates;
-use uniq_imu::trajectory::{generate_trajectory, measurement_stops, GesturePlan};
+use crate::degrade::{DegradationPolicy, DegradationReport, FaultHook, StopDegradation};
+use uniq_acoustics::measure::{
+    record_point_source, record_point_source_injected, InjectionSite, MeasurementSetup,
+    RecordingInjector,
+};
+use uniq_acoustics::render::Renderer;
+use uniq_imu::gyro::{integrate_rates, RateInjector};
+use uniq_imu::trajectory::{generate_trajectory, measurement_stops, GesturePlan, TrajectorySample};
 use uniq_subjects::{Subject, FORWARD_RESOLUTION};
 
 /// One measurement stop: what the pipeline may use, plus ground truth for
@@ -55,6 +60,25 @@ pub enum SessionError {
         /// The underlying channel-estimation failure.
         error: ChannelError,
     },
+    /// A stop's estimate scored below the degradation policy's quality
+    /// floor and the policy forbids skipping stops (faulted sessions
+    /// only).
+    QualityFloor {
+        /// Zero-based index of the failing stop along the sweep.
+        stop: usize,
+        /// The stop's quality score.
+        score: f64,
+        /// The policy's floor it fell under.
+        floor: f64,
+    },
+    /// The degradation policy dropped too many stops for the session to
+    /// remain usable (faulted sessions only).
+    InsufficientStops {
+        /// Stops that survived the policy.
+        survived: usize,
+        /// Minimum the policy (and fusion) require.
+        needed: usize,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -64,6 +88,14 @@ impl std::fmt::Display for SessionError {
             SessionError::Stop { stop, error } => {
                 write!(f, "measurement stop {stop}: {error}")
             }
+            SessionError::QualityFloor { stop, score, floor } => write!(
+                f,
+                "measurement stop {stop}: quality {score:.3} below floor {floor:.3}"
+            ),
+            SessionError::InsufficientStops { survived, needed } => write!(
+                f,
+                "only {survived} of the required {needed} measurement stops survived degradation"
+            ),
         }
     }
 }
@@ -73,6 +105,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Config(error) => Some(error),
             SessionError::Stop { error, .. } => Some(error),
+            SessionError::QualityFloor { .. } | SessionError::InsufficientStops { .. } => None,
         }
     }
 }
@@ -98,6 +131,68 @@ pub fn run_session(
 ) -> Result<SessionData, SessionError> {
     cfg.validate().map_err(SessionError::Config)?;
     let _span = uniq_obs::span(uniq_obs::names::SPAN_SESSION);
+    let (prep, _gyro_faults) = prepare_session(subject, cfg, seed, None);
+
+    // Each stop is an independent record → deconvolve → gate computation,
+    // so the sweep fans out across the pool. `try_par_map` evaluates every
+    // stop and reports the lowest-index failure, and `ctx.run` re-installs
+    // the caller's observability sink/depth on the workers so spans and
+    // metrics land exactly as the sequential loop emitted them.
+    let indexed: Vec<usize> = (0..prep.stops.len()).collect();
+    let pool = uniq_par::pool(cfg.threads);
+    let ctx = uniq_obs::capture();
+    let out = pool.try_par_map(&indexed, |&i| {
+        ctx.run(|| {
+            let stop = &prep.stops[i];
+            let idx = i * (prep.traj.len() - 1) / (cfg.stops - 1);
+            let rec = record_point_source(
+                &prep.renderer,
+                &prep.setup,
+                stop.pos,
+                &prep.probe,
+                seed.wrapping_add(100 + i as u64),
+            )
+            // uniq-analyzer: allow(panic-safety) — stop positions come from the gesture sampler, which clamps every point outside the head boundary
+            .expect("gesture trajectory stays outside the head");
+            let channel = estimate_channel(&rec, &prep.probe, &prep.system_ir, cfg)
+                .map_err(|error| SessionError::Stop { stop: i, error })?;
+            Ok(StopMeasurement {
+                alpha_deg: prep.alphas[idx],
+                channel,
+                truth_theta_deg: stop.theta_deg,
+                truth_radius_m: stop.radius_m,
+            })
+        })
+    })?;
+
+    uniq_obs::metric(uniq_obs::names::SESSION_STOPS, out.len() as f64, "");
+    Ok(SessionData {
+        stops: out,
+        system_ir: prep.system_ir,
+    })
+}
+
+/// Everything a session needs before the per-stop loop: the forward
+/// renderer, measurement chain, probe/calibration, and the gesture + IMU
+/// streams. Shared verbatim by the clean and faulted drivers so the two
+/// stay arithmetically identical up to the per-stop loop.
+struct PreparedSession {
+    renderer: Renderer,
+    setup: MeasurementSetup,
+    probe: Vec<f64>,
+    system_ir: Vec<f64>,
+    traj: Vec<TrajectorySample>,
+    alphas: Vec<f64>,
+    stops: Vec<TrajectorySample>,
+    imu_rate_hz: f64,
+}
+
+fn prepare_session(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+    rate_injector: Option<&dyn RateInjector>,
+) -> (PreparedSession, Vec<&'static str>) {
     let renderer = subject.renderer(cfg.render, FORWARD_RESOLUTION);
     let setup = if cfg.in_room {
         MeasurementSetup::home(cfg.render.sample_rate, cfg.snr_db)
@@ -112,51 +207,224 @@ pub fn run_session(
     let traj = generate_trajectory(&plan, seed);
     let true_rates: Vec<f64> = traj.iter().map(|s| s.angular_rate_dps).collect();
     let dt = 1.0 / plan.imu_rate_hz;
-    let measured_rates = cfg.gyro.simulate(&true_rates, dt, seed.wrapping_add(1));
+    let gyro_seed = seed.wrapping_add(1);
+    let (measured_rates, gyro_faults) = match rate_injector {
+        None => (cfg.gyro.simulate(&true_rates, dt, gyro_seed), Vec::new()),
+        Some(injector) => cfg
+            .gyro
+            .simulate_injected(&true_rates, dt, gyro_seed, injector),
+    };
     // The user is instructed to start facing front: initial α = 0.
     let alphas = integrate_rates(&measured_rates, dt, 0.0);
 
     // Index stops back into the full trajectory to read the IMU angle
     // (same index formula as `measurement_stops`).
     let stops = measurement_stops(&traj, cfg.stops);
+    (
+        PreparedSession {
+            renderer,
+            setup,
+            probe,
+            system_ir,
+            traj,
+            alphas,
+            stops,
+            imu_rate_hz: plan.imu_rate_hz,
+        },
+        gyro_faults,
+    )
+}
 
-    // Each stop is an independent record → deconvolve → gate computation,
-    // so the sweep fans out across the pool. `try_par_map` evaluates every
-    // stop and reports the lowest-index failure, and `ctx.run` re-installs
-    // the caller's observability sink/depth on the workers so spans and
-    // metrics land exactly as the sequential loop emitted them.
-    let indexed: Vec<usize> = (0..stops.len()).collect();
+/// Runs a measurement session under a [`FaultHook`], degrading gracefully
+/// per `policy`: corrupted stops are retried (`policy.stop_retries` extra
+/// captures) and then skipped when `policy.skip_failed_stops` allows it.
+/// Returns the surviving session plus a [`DegradationReport`] describing
+/// what was kept, dropped and seen.
+///
+/// With a no-op hook and default policy, the returned [`SessionData`] is
+/// bit-identical to [`run_session`]'s — the conformance suite in
+/// `tests/robustness.rs` pins that contract.
+///
+/// # Errors
+/// [`SessionError::Config`] on invalid configuration;
+/// [`SessionError::Stop`]/[`SessionError::QualityFloor`] when a stop stays
+/// unusable and the policy forbids skipping;
+/// [`SessionError::InsufficientStops`] when fewer than
+/// `max(policy.min_stops, 4)` stops survive.
+pub fn run_session_faulted(
+    subject: &Subject,
+    cfg: &UniqConfig,
+    seed: u64,
+    hook: &dyn FaultHook,
+    policy: &DegradationPolicy,
+) -> Result<(SessionData, DegradationReport), SessionError> {
+    cfg.validate().map_err(SessionError::Config)?;
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_SESSION);
+    let (prep, gyro_faults) = prepare_session(subject, cfg, seed, Some(hook as &dyn RateInjector));
+
+    let indexed: Vec<usize> = (0..prep.stops.len()).collect();
     let pool = uniq_par::pool(cfg.threads);
     let ctx = uniq_obs::capture();
-    let out = pool.try_par_map(&indexed, |&i| {
-        ctx.run(|| {
-            let stop = &stops[i];
-            let idx = i * (traj.len() - 1) / (cfg.stops - 1);
-            let rec = record_point_source(
-                &renderer,
-                &setup,
-                stop.pos,
-                &probe,
-                seed.wrapping_add(100 + i as u64),
-            )
-            // uniq-analyzer: allow(panic-safety) — stop positions come from the gesture sampler, which clamps every point outside the head boundary
-            .expect("gesture trajectory stays outside the head");
-            let channel = estimate_channel(&rec, &probe, &system_ir, cfg)
-                .map_err(|error| SessionError::Stop { stop: i, error })?;
-            Ok(StopMeasurement {
-                alpha_deg: alphas[idx],
-                channel,
-                truth_theta_deg: stop.theta_deg,
-                truth_radius_m: stop.radius_m,
-            })
-        })
+    let outcomes = pool.try_par_map(&indexed, |&i| {
+        ctx.run(|| degrade_stop(i, &prep, cfg, seed, hook, policy))
     })?;
 
-    uniq_obs::metric(uniq_obs::names::SESSION_STOPS, out.len() as f64, "");
-    Ok(SessionData {
-        stops: out,
-        system_ir,
-    })
+    let mut stops = Vec::with_capacity(outcomes.len());
+    let mut detail = Vec::with_capacity(outcomes.len());
+    for (measurement, stop_detail) in outcomes {
+        if let Some(m) = measurement {
+            stops.push(m);
+        }
+        detail.push(stop_detail);
+    }
+    let report = DegradationReport::from_stops(detail, &gyro_faults);
+
+    uniq_obs::metric(uniq_obs::names::SESSION_STOPS, report.stops_used as f64, "");
+    uniq_obs::metric(
+        uniq_obs::names::SESSION_STOPS_DROPPED,
+        report.stops_dropped as f64,
+        "",
+    );
+    uniq_obs::metric(
+        uniq_obs::names::SESSION_STOPS_RETRIED,
+        report.retries as f64,
+        "",
+    );
+    let injected: usize = report.stops.iter().map(|s| s.faults.len()).sum();
+    if injected + gyro_faults.len() > 0 {
+        uniq_obs::counter(
+            uniq_obs::names::FAULTS_INJECTED,
+            (injected + gyro_faults.len()) as u64,
+        );
+    }
+
+    let needed = policy.min_stops.max(4);
+    if report.stops_used < needed {
+        return Err(SessionError::InsufficientStops {
+            survived: report.stops_used,
+            needed,
+        });
+    }
+    Ok((
+        SessionData {
+            stops,
+            system_ir: prep.system_ir,
+        },
+        report,
+    ))
+}
+
+/// One stop's capture → corrupt → estimate → score loop under the
+/// degradation policy. Pure given its arguments, so the faulted session
+/// stays bit-identical at any thread count.
+#[allow(clippy::type_complexity)]
+fn degrade_stop(
+    i: usize,
+    prep: &PreparedSession,
+    cfg: &UniqConfig,
+    seed: u64,
+    hook: &dyn FaultHook,
+    policy: &DegradationPolicy,
+) -> Result<(Option<StopMeasurement>, StopDegradation), SessionError> {
+    let n = prep.stops.len();
+    let sched = hook.stop_schedule(i, n);
+    let src = sched.source.min(n - 1);
+    let stop = &prep.stops[src];
+    // The IMU angle is read at the *scheduled* stop's timestamp (the
+    // pipeline believes it is at stop `i`), shifted by any clock jitter.
+    let base_idx = i * (prep.traj.len() - 1) / (cfg.stops - 1);
+    let shift = (sched.jitter_s * prep.imu_rate_hz).round() as i64;
+    let idx = (base_idx as i64 + shift).clamp(0, prep.alphas.len() as i64 - 1) as usize;
+
+    let mut faults: Vec<&'static str> = sched.faults.clone();
+    let mut attempts = 0usize;
+    let mut kept: Option<(StopMeasurement, f64)> = None;
+    let mut last_err: Option<ChannelError> = None;
+    let mut last_score = 0.0;
+    for attempt in 0..=policy.stop_retries {
+        attempts = attempt + 1;
+        // Attempt 0 reuses the clean session's per-stop noise seed (for
+        // the *source* stop, so duplicated captures really duplicate);
+        // retries draw fresh microphone noise, as a re-capture would.
+        let noise_seed = seed
+            .wrapping_add(100 + src as u64)
+            .wrapping_add(50_000u64.wrapping_mul(attempt as u64));
+        let site = InjectionSite {
+            stop: i,
+            attempt,
+            sample_rate: cfg.render.sample_rate,
+        };
+        let (rec, injected) = record_point_source_injected(
+            &prep.renderer,
+            &prep.setup,
+            stop.pos,
+            &prep.probe,
+            noise_seed,
+            site,
+            hook as &dyn RecordingInjector,
+        )
+        // uniq-analyzer: allow(panic-safety) — stop positions come from the gesture sampler, which clamps every point outside the head boundary
+        .expect("gesture trajectory stays outside the head");
+        faults.extend(injected);
+        match estimate_channel(&rec, &prep.probe, &prep.system_ir, cfg) {
+            Ok(channel) => {
+                let quality = stop_quality(&channel, cfg);
+                last_score = quality.score;
+                last_err = None;
+                if quality.score < policy.quality_floor {
+                    continue; // treated as corrupted: retry, else drop
+                }
+                kept = Some((
+                    StopMeasurement {
+                        alpha_deg: prep.alphas[idx],
+                        channel,
+                        truth_theta_deg: stop.theta_deg,
+                        truth_radius_m: stop.radius_m,
+                    },
+                    quality.score,
+                ));
+                break;
+            }
+            Err(error) => last_err = Some(error),
+        }
+    }
+    faults.sort_unstable();
+    faults.dedup();
+    match kept {
+        Some((measurement, score)) => {
+            uniq_obs::metric(uniq_obs::names::SESSION_STOP_QUALITY, score, "");
+            Ok((
+                Some(measurement),
+                StopDegradation {
+                    stop: i,
+                    source_stop: src,
+                    attempts,
+                    used: true,
+                    quality: score,
+                    faults,
+                },
+            ))
+        }
+        None if !policy.skip_failed_stops => Err(match last_err {
+            Some(error) => SessionError::Stop { stop: i, error },
+            None => SessionError::QualityFloor {
+                stop: i,
+                score: last_score,
+                floor: policy.quality_floor,
+            },
+        }),
+        None => Ok((
+            None,
+            StopDegradation {
+                stop: i,
+                source_stop: src,
+                attempts,
+                used: false,
+                quality: 0.0,
+                faults,
+            },
+        )),
+    }
 }
 
 #[cfg(test)]

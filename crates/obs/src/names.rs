@@ -48,6 +48,20 @@ pub const NEARFIELD_INTERP_TAP_DEV_MAX: &str = "nearfield.interp_tap_dev_max";
 
 /// Measurement stops accepted into a session.
 pub const SESSION_STOPS: &str = "session.stops";
+/// Quality score of one surviving stop's channel estimate, `[0, 1]`
+/// (faulted sessions only).
+pub const SESSION_STOP_QUALITY: &str = "session.stop_quality";
+/// Stops dropped by the degradation policy (faulted sessions only).
+pub const SESSION_STOPS_DROPPED: &str = "session.stops_dropped";
+/// Stop captures retried by the degradation policy (faulted sessions
+/// only).
+pub const SESSION_STOPS_RETRIED: &str = "session.stops_retried";
+
+/// Individual faults injected into a session (counter; faulted sessions
+/// only).
+pub const FAULTS_INJECTED: &str = "faults.injected";
+/// Mean quality over the stops a degraded run kept.
+pub const DEGRADATION_MEAN_QUALITY: &str = "degradation.mean_quality";
 
 /// Every metric/counter name the workspace may emit. The workspace-level
 /// `every_emitted_name_is_registered` test runs a full pipeline under a
@@ -70,6 +84,11 @@ pub const ALL_METRICS: &[&str] = &[
     NEARFIELD_INTERP_TAP_DEV_MEAN,
     NEARFIELD_INTERP_TAP_DEV_MAX,
     SESSION_STOPS,
+    SESSION_STOP_QUALITY,
+    SESSION_STOPS_DROPPED,
+    SESSION_STOPS_RETRIED,
+    FAULTS_INJECTED,
+    DEGRADATION_MEAN_QUALITY,
 ];
 
 // Span names. Spans are the unit the profiling layer (`uniq-profile`)
@@ -98,6 +117,9 @@ pub const SPAN_AOA_KNOWN: &str = "aoa.known";
 pub const SPAN_AOA_UNKNOWN: &str = "aoa.unknown";
 /// A batch personalization run (fans subjects across the pool).
 pub const SPAN_BATCH: &str = "batch";
+/// A fault-injected measurement session (wraps `session` when a
+/// `FaultPlan` is active; never opened on the clean path).
+pub const SPAN_FAULTS: &str = "faults";
 
 /// Every span name the workspace may open (see [`ALL_METRICS`] for the
 /// covering test).
@@ -112,6 +134,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_AOA_KNOWN,
     SPAN_AOA_UNKNOWN,
     SPAN_BATCH,
+    SPAN_FAULTS,
 ];
 
 /// The spans every successful `personalize` run must traverse — the

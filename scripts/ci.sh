@@ -35,6 +35,27 @@ grep -q "per-stage wall clock:" "$ci_tmp/profile.log"
 target/release/baseline verify-profile "$ci_tmp/profile.json"
 test -s "$ci_tmp/flame.txt"
 
+echo "== fault-matrix smoke (every fault class, 1 and 4 threads) =="
+# Each injectable fault class at its default (preset) intensity must
+# degrade gracefully: the wrapped personalize completes with exit 0 and
+# prints a populated degradation report, at both pool sizes.
+fault_plans="drop@2 truncate:0.5@3 clip:0.35 snr:-12@4 \
+  gyro-dropout:0.45:0.05 gyro-sat:12 jitter:0.05 dup@5 reorder@6"
+for plan in $fault_plans; do
+  for threads in 1 4; do
+    UNIQ_THREADS=$threads target/release/uniq faults personalize --seed 6 \
+      --anechoic --grid 15 --snr 45 --fault-plan "$plan" \
+      > "$ci_tmp/faults.log"
+    grep -q "degradation:" "$ci_tmp/faults.log"
+  done
+done
+# A failing wrapped command must propagate its nonzero exit status.
+if target/release/uniq faults personalize --seed 6 --anechoic \
+  --fault-plan bogus-class >/dev/null 2>&1; then
+  echo "faults wrapper swallowed a failure exit status" >&2
+  exit 1
+fi
+
 echo "== baseline determinism (two runs, bit-identical quality) =="
 target/release/baseline run --out "$ci_tmp/fresh_a.json"
 target/release/baseline run --out "$ci_tmp/fresh_b.json"

@@ -133,6 +133,32 @@ fn observability_aggregates_identical_across_thread_counts() {
 }
 
 #[test]
+fn faulted_pipeline_bit_identical_across_thread_counts() {
+    use uniq_core::degrade::DegradationPolicy;
+    use uniq_core::pipeline::personalize_faulted;
+    use uniq_faults::FaultPlan;
+
+    // A compound plan exercising every injection boundary: acoustic
+    // corruption, gyro corruption, and session-structure faults.
+    let plan = FaultPlan::parse(
+        "drop@2,snr:-9@4,clip:0.5,jitter:0.03,gyro-dropout:0.45:0.05",
+        9,
+    )
+    .expect("plan parses");
+    let policy = DegradationPolicy::default();
+    let subject = Subject::from_seed(72);
+    let sequential = personalize_faulted(&subject, &cfg_with(1), 44, &plan, &policy)
+        .expect("sequential faulted run");
+    let parallel = personalize_faulted(&subject, &cfg_with(8), 44, &plan, &policy)
+        .expect("parallel faulted run");
+    assert_results_identical(&sequential.result, &parallel.result);
+    assert_eq!(
+        sequential.degradation, parallel.degradation,
+        "degradation reports diverged between thread counts"
+    );
+}
+
+#[test]
 fn batch_fingerprint_identical_across_thread_counts() {
     let cfg = UniqConfig {
         grid_step_deg: 15.0,
