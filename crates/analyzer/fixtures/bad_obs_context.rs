@@ -1,0 +1,38 @@
+//! Fixture: emission inside pool closures without a captured context.
+
+fn batch(pool: &uniq_par::ThreadPool, seeds: &[u64]) -> Vec<u64> {
+    pool.par_map_chunked(seeds, 1, |&seed| {
+        let _span = uniq_obs::span(uniq_obs::names::SPAN_SESSION);
+        uniq_obs::counter(uniq_obs::names::SESSION_STOPS, 1);
+        seed
+    })
+}
+
+fn sweep(pool: &uniq_par::ThreadPool, items: &[f64]) -> Vec<f64> {
+    pool.par_map(items, |&v| {
+        uniq_obs::metric(uniq_obs::names::FUSION_OBJECTIVE, v, "deg2");
+        v * 2.0
+    })
+}
+
+fn contexted_then_not(pool: &uniq_par::ThreadPool, items: &[f64]) -> Vec<f64> {
+    // A `run` later in the same call does not cover the earlier emission.
+    pool.try_par_map(items, |&v| {
+        uniq_obs::counter(uniq_obs::names::SESSION_STOPS, 1);
+        let ctx = uniq_obs::capture();
+        Ok::<f64, ()>(ctx.run(|| v))
+    })
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code is exempt from the rule.
+        uniq_par::pool(2).par_map(&[1u64], |&v| {
+            uniq_obs::counter(uniq_obs::names::SESSION_STOPS, v as i64);
+            v
+        });
+    }
+}

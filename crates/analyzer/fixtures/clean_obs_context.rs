@@ -1,0 +1,27 @@
+//! Fixture: pool closures that carry their observability context.
+
+fn batch(pool: &uniq_par::ThreadPool, seeds: &[u64]) -> Vec<u64> {
+    let ctx = uniq_obs::capture();
+    pool.par_map_chunked(seeds, 1, |&seed| {
+        ctx.run_indexed(seed, || {
+            let _span = uniq_obs::span(uniq_obs::names::SPAN_SESSION);
+            uniq_obs::counter(uniq_obs::names::SESSION_STOPS, 1);
+            seed
+        })
+    })
+}
+
+fn sweep(pool: &uniq_par::ThreadPool, items: &[f64]) -> Vec<f64> {
+    let ctx = uniq_obs::capture();
+    pool.par_map(items, |&v| {
+        ctx.run(|| {
+            uniq_obs::metric(uniq_obs::names::FUSION_OBJECTIVE, v, "deg2");
+            v * 2.0
+        })
+    })
+}
+
+fn no_emission(pool: &uniq_par::ThreadPool, items: &[f64]) -> Vec<f64> {
+    // Closures that never emit need no context.
+    pool.par_map(items, |&v| v.sqrt())
+}

@@ -245,6 +245,32 @@ fn metric_name_exempts_obs_itself() {
 }
 
 #[test]
+fn obs_context_bad() {
+    let diags = check(
+        include_str!("../fixtures/bad_obs_context.rs"),
+        "cli",
+        false,
+        false,
+    );
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "obs-context"));
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    // The `#[cfg(test)]` module's uncontexted emission is exempt.
+    assert!(diags.iter().all(|d| d.line < 28), "{diags:#?}");
+}
+
+#[test]
+fn obs_context_clean() {
+    let diags = check(
+        include_str!("../fixtures/clean_obs_context.rs"),
+        "cli",
+        false,
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn bad_suppressions_are_themselves_findings() {
     let diags = check(
         include_str!("../fixtures/bad_suppression.rs"),

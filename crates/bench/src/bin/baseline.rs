@@ -19,6 +19,7 @@ use uniq_bench::baseline::{
     DEFAULT_PERF_TOL, DEFAULT_QUALITY_TOL,
 };
 use uniq_profile::json::Json;
+use uniq_telemetry::ledger::{self, LedgerRecord};
 
 fn usage() -> String {
     "baseline — pinned-workload benchmark baselines and the CI regression gate\n\
@@ -32,8 +33,33 @@ fn usage() -> String {
      \x20 verify-profile FILE            check a uniq --profile-out file parses and covers\n\
      \x20                                every pipeline stage\n\
      \x20 quality-identical A B          exit 0 iff both documents carry bit-identical\n\
-     \x20                                quality sections\n"
+     \x20                                quality sections\n\
+     \n\
+     ledger (run / bless / compare-with-fresh-run):\n\
+     \x20 --history PATH                 append a run record to PATH instead of the\n\
+     \x20                                default bench_results/history.jsonl\n\
+     \x20 --no-history                   skip the ledger append\n"
         .to_string()
+}
+
+/// Appends the run's ledger record to the cross-run history file
+/// (`uniq history trend` consumes it), unless `--no-history` was given.
+fn append_ledger(doc: &Json, opts: &Opts) {
+    if opts.switch("no-history") {
+        return;
+    }
+    let path = opts.get("history").unwrap_or(ledger::DEFAULT_HISTORY_FILE);
+    let record = match LedgerRecord::from_baseline_doc(doc, "baseline") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warning: ledger record not appended: {e}");
+            return;
+        }
+    };
+    match ledger::append(std::path::Path::new(path), &record) {
+        Ok(()) => println!("ledger record appended to {path}"),
+        Err(e) => eprintln!("warning: cannot append to {path}: {e}"),
+    }
 }
 
 fn fail_usage(msg: &str) -> ! {
@@ -106,27 +132,38 @@ fn main() {
     };
     match command.as_str() {
         "run" => {
-            let opts = Opts::parse(&args[1..], &[]);
+            let opts = Opts::parse(&args[1..], &["no-history"]);
             let out = opts
                 .get("out")
                 .unwrap_or_else(|| fail_usage("run needs --out FILE"));
             let doc = run_baseline(&BaselineSpec::pinned());
-            std::fs::write(out, doc).unwrap_or_else(|e| {
+            std::fs::write(out, &doc).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {out}: {e}");
                 std::process::exit(1);
             });
             println!("baseline written to {out}");
+            // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
+            append_ledger(
+                &Json::parse(&doc).expect("self-emitted baseline JSON"),
+                &opts,
+            );
         }
         "bless" => {
+            let opts = Opts::parse(&args[1..], &["no-history"]);
             let doc = run_baseline(&BaselineSpec::pinned());
-            std::fs::write(BASELINE_FILE, doc).unwrap_or_else(|e| {
+            std::fs::write(BASELINE_FILE, &doc).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {BASELINE_FILE}: {e}");
                 std::process::exit(1);
             });
             println!("blessed {BASELINE_FILE} — review the diff before committing");
+            // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
+            append_ledger(
+                &Json::parse(&doc).expect("self-emitted baseline JSON"),
+                &opts,
+            );
         }
         "compare" => {
-            let opts = Opts::parse(&args[1..], &["strict"]);
+            let opts = Opts::parse(&args[1..], &["strict", "no-history"]);
             let baseline_path = opts
                 .get("baseline")
                 .unwrap_or_else(|| fail_usage("compare needs --baseline FILE"));
@@ -137,7 +174,9 @@ fn main() {
                     println!("running the pinned workload matrix…");
                     let doc = run_baseline(&BaselineSpec::pinned());
                     // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
-                    Json::parse(&doc).expect("self-emitted baseline JSON")
+                    let parsed = Json::parse(&doc).expect("self-emitted baseline JSON");
+                    append_ledger(&parsed, &opts);
+                    parsed
                 }
             };
             let strict = opts.switch("strict");

@@ -12,6 +12,8 @@ use uniq_obs::report::Report;
 use uniq_obs::sink::{JsonLinesSink, MemorySink, MultiSink, Sink, StderrSink};
 use uniq_profile::ProfileSink;
 use uniq_subjects::Subject;
+use uniq_telemetry::ledger::{self, LedgerRecord};
+use uniq_telemetry::TelemetrySink;
 
 /// Runs a parsed command; returns a human-readable report or an error
 /// message.
@@ -55,7 +57,10 @@ fn run_observed(
 ) -> Result<String, String> {
     let trace = args.switch("trace");
     let metrics_out = args.get("metrics-out");
-    if !trace && metrics_out.is_none() {
+    let telemetry_out = args.get("telemetry-out");
+    let telemetry_json = args.get("telemetry-json");
+    let want_telemetry = telemetry_out.is_some() || telemetry_json.is_some();
+    if !trace && metrics_out.is_none() && !want_telemetry {
         return match extra {
             Some(sink) => uniq_obs::with_sink(sink, || dispatch_fn(args)),
             None => dispatch_fn(args),
@@ -72,15 +77,158 @@ fn run_observed(
             .map_err(|e| format!("cannot create {path}: {e}"))?;
         sinks.push(Arc::new(sink));
     }
+    let telemetry = if want_telemetry {
+        let sink = Arc::new(TelemetrySink::new());
+        sinks.push(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
     sinks.extend(extra);
     let multi = Arc::new(MultiSink::new(sinks));
     let result = uniq_obs::with_sink(multi.clone(), || dispatch_fn(args));
     // Push buffered sinks (JSON lines) to disk even on error paths.
     multi.flush();
+    if let Some(sink) = telemetry {
+        // The registry of a failed run is evidence — export regardless.
+        let snapshot = sink.snapshot();
+        if let Some(path) = telemetry_out {
+            std::fs::write(
+                Path::new(path),
+                uniq_telemetry::expose::prometheus(&snapshot),
+            )
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = telemetry_json {
+            std::fs::write(
+                Path::new(path),
+                uniq_telemetry::expose::snapshot_json(&snapshot),
+            )
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
     if trace {
         eprintln!("\n{}", Report::from_events(&memory.events()));
     }
     result
+}
+
+/// `uniq trace report FILE`: rebuilds the causal span tree of a
+/// `--metrics-out` JSONL file and prints the critical path and per-stage
+/// self-time table. Exit 0 = complete tree, 1 = orphaned spans or an
+/// unreadable trace, 2 = usage error.
+pub fn trace_cmd(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: uniq trace report FILE";
+    if args.first().map(String::as_str) != Some("report") {
+        eprintln!("error: trace supports `report`\n{USAGE}");
+        return 2;
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("error: trace report needs a FILE\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    match uniq_telemetry::trace::parse_trace(&text) {
+        Ok(tree) => {
+            println!("{}", tree.render_report());
+            if tree.orphans.is_empty() {
+                0
+            } else {
+                eprintln!(
+                    "error: {} orphaned span(s) — broken causality",
+                    tree.orphans.len()
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `uniq history trend|compare FILE [--quality-tol X] [--latency-tol X]`:
+/// the cross-run ledger gates. `trend` tests the newest record against
+/// the median/MAD of its label's history; `compare` diffs the last two
+/// records of that label. Exit 0 = clean, 1 = latency warning,
+/// 2 = quality regression or usage error.
+pub fn history_cmd(args: &[String]) -> i32 {
+    const USAGE: &str =
+        "usage: uniq history trend|compare FILE [--quality-tol X] [--latency-tol X]";
+    let Some(mode) = args.first().map(String::as_str) else {
+        eprintln!("error: history needs a subcommand\n{USAGE}");
+        return 2;
+    };
+    if mode != "trend" && mode != "compare" {
+        eprintln!("error: history supports `trend` and `compare`\n{USAGE}");
+        return 2;
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("error: history {mode} needs a FILE\n{USAGE}");
+        return 2;
+    };
+    let mut quality_tol = ledger::DEFAULT_QUALITY_TOL;
+    let mut latency_tol = ledger::DEFAULT_LATENCY_TOL;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        let target = match flag.as_str() {
+            "--quality-tol" => &mut quality_tol,
+            "--latency-tol" => &mut latency_tol,
+            other => {
+                eprintln!("error: unknown history option {other:?}\n{USAGE}");
+                return 2;
+            }
+        };
+        match it.next().and_then(|v| v.parse::<f64>().ok()) {
+            Some(v) => *target = v,
+            None => {
+                eprintln!("error: {flag} needs a numeric value\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let records = match ledger::read_history(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return 2;
+        }
+    };
+    let report = match mode {
+        "trend" => ledger::trend(&records, quality_tol, latency_tol),
+        _ => ledger::compare_last_two(&records, quality_tol, latency_tol),
+    };
+    println!("{}", report.render());
+    report.exit_code
+}
+
+/// Appends a ledger record for a finished run when `--history PATH` was
+/// given (pass `--history default` for `bench_results/history.jsonl`).
+fn append_history(args: &Args, record: &LedgerRecord) -> Result<Option<String>, String> {
+    let Some(path) = args.get("history") else {
+        return Ok(None);
+    };
+    let path = if path == "default" {
+        ledger::DEFAULT_HISTORY_FILE
+    } else {
+        path
+    };
+    ledger::append(Path::new(path), record).map_err(|e| format!("cannot append to {path}: {e}"))?;
+    Ok(Some(format!("ledger record appended to {path}")))
 }
 
 /// `uniq profile <command> …`: runs any subcommand under a
@@ -202,6 +350,26 @@ fn personalize_faulted_cmd(args: &Args) -> Result<String, String> {
             result.hrtf.far().len(),
         ));
     }
+    let deg = &faulted.degradation;
+    let mut record = LedgerRecord::new("personalize-faulted");
+    record.seed = seed;
+    record.fingerprint = format!("{:#018x}", single_fingerprint(seed, result));
+    record.quality.insert(
+        "fusion_mean_residual_deg".into(),
+        result.fusion.mean_residual_deg,
+    );
+    record
+        .quality
+        .insert("mean_stop_quality".into(), deg.mean_quality);
+    record.degradation = Some(format!(
+        "stops {}/{} kept, {} dropped, {} retries, classes [{}]",
+        deg.stops_used,
+        deg.stops_planned,
+        deg.stops_dropped,
+        deg.retries,
+        deg.fault_classes.join(","),
+    ));
+    lines.extend(append_history(args, &record)?);
     Ok(lines.join("\n"))
 }
 
@@ -226,8 +394,21 @@ pub fn usage() -> String {
      \x20     simulate an unknown ambient source and estimate its direction\n\
      \n\
      observability (any command):\n\
-     \x20 --trace            live span tree on stderr + end-of-run stage summary\n\
-     \x20 --metrics-out FILE write spans/metrics/counters as JSON lines\n\
+     \x20 --trace              live span tree on stderr + end-of-run stage summary\n\
+     \x20 --metrics-out FILE   write spans/metrics/counters as JSON lines\n\
+     \x20 --telemetry-out FILE write the aggregated registry as Prometheus text\n\
+     \x20 --telemetry-json FILE write the aggregated registry as a JSON snapshot\n\
+     \n\
+     telemetry:\n\
+     \x20 trace report FILE\n\
+     \x20     rebuild the causal span tree of a --metrics-out file; print the\n\
+     \x20     critical path and per-stage self time (exit 1 on orphaned spans)\n\
+     \x20 history trend|compare FILE [--quality-tol X] [--latency-tol X]\n\
+     \x20     gate the newest run ledger record against its history (trend:\n\
+     \x20     median/MAD drift; compare: last two records); exit 0 ok,\n\
+     \x20     1 latency warning, 2 quality regression\n\
+     \x20 --history PATH       (personalize/batch/faults) append a run record to\n\
+     \x20     the ledger (PATH `default` = bench_results/history.jsonl)\n\
      \n\
      profiling:\n\
      \x20 profile <command> [args...] [--profile-out FILE] [--flame-out FILE]\n\
@@ -273,8 +454,10 @@ fn personalize_cmd(args: &Args) -> Result<String, String> {
     };
 
     let subject = Subject::from_seed(seed);
+    let sw = uniq_obs::Stopwatch::start();
     let result = personalize_with_retry(&subject, &cfg, seed, 3)
         .map_err(|e| format!("personalization failed: {e}"))?;
+    let wall_seconds = sw.elapsed_seconds();
     uniq_core::io::save(&result.hrtf, Path::new(out))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
 
@@ -283,20 +466,48 @@ fn personalize_cmd(args: &Args) -> Result<String, String> {
         .iter()
         .map(|(t, e)| uniq_geometry::vec2::angle_diff_deg(*t, *e))
         .collect();
-    Ok(format!(
+    let loc_median = uniq_dsp::stats::median(&errs);
+    let mut lines = vec![format!(
         "personalized subject {seed} in {} attempt(s)\n\
          fitted head: a={:.3} b={:.3} c={:.3} (residual {:.1}°)\n\
-         localization median {:.1}°\n\
+         localization median {loc_median:.1}°\n\
          table written to {out} ({} near + {} far angles)",
         result.attempts,
         result.fusion.head.a,
         result.fusion.head.b,
         result.fusion.head.c,
         result.fusion.mean_residual_deg,
-        uniq_dsp::stats::median(&errs),
         result.hrtf.near().len(),
         result.hrtf.far().len(),
-    ))
+    )];
+    let mut record = LedgerRecord::new("personalize");
+    record.seed = seed;
+    record.threads = cfg.threads as u64;
+    record.wall_seconds = wall_seconds;
+    record.fingerprint = format!("{:#018x}", single_fingerprint(seed, &result));
+    record
+        .quality
+        .insert("localization_median_deg".into(), loc_median);
+    record.quality.insert(
+        "fusion_mean_residual_deg".into(),
+        result.fusion.mean_residual_deg,
+    );
+    record.quality.insert("radius_m".into(), result.radius_m);
+    record
+        .quality
+        .insert("attempts".into(), result.attempts as f64);
+    lines.extend(append_history(args, &record)?);
+    Ok(lines.join("\n"))
+}
+
+/// One personalization result digested through the batch fingerprint —
+/// every HRIR bit, localization estimate, and the radius in one number.
+fn single_fingerprint(seed: u64, result: &uniq_core::pipeline::PersonalizationResult) -> u64 {
+    uniq_core::batch::hrtf_fingerprint(&[uniq_core::batch::BatchOutcome {
+        seed,
+        result: Ok(result.clone()),
+        seconds: 0.0,
+    }])
 }
 
 /// Renders a [`ScalingReport`] as a JSON document (fingerprints in hex so
@@ -419,6 +630,14 @@ fn batch_cmd(args: &Args) -> Result<String, String> {
         outcomes.len(),
         outcomes.len() as f64 / total.max(1e-12),
     ));
+    let mut record = LedgerRecord::new("batch");
+    record.seed = base;
+    record.threads = pool_size as u64;
+    record.wall_seconds = total;
+    record.fingerprint = format!("{:#018x}", uniq_core::batch::hrtf_fingerprint(&outcomes));
+    record.quality.insert("subjects".into(), subjects as f64);
+    record.quality.insert("failures".into(), failed as f64);
+    lines.extend(append_history(args, &record)?);
     Ok(lines.join("\n"))
 }
 
@@ -747,5 +966,102 @@ mod tests {
         }
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn trace_report_round_trip() {
+        let table = temp_path("trace_rt.uniqhrtf");
+        let metrics = temp_path("trace_rt.jsonl");
+        run(&argv(&format!(
+            "personalize --seed 6 --out {} --anechoic --grid 15 --metrics-out {}",
+            table.display(),
+            metrics.display()
+        )))
+        .expect("personalize with metrics");
+
+        // The emitted trace reconstructs with no orphans (exit 0).
+        let code = trace_cmd(&["report".to_string(), metrics.display().to_string()]);
+        assert_eq!(code, 0, "trace report found orphans or failed to parse");
+
+        // Usage errors are distinguishable from findings.
+        assert_eq!(trace_cmd(&[]), 2);
+        assert_eq!(trace_cmd(&["report".to_string()]), 2);
+        assert_eq!(
+            trace_cmd(&["report".to_string(), "/nonexistent/t.jsonl".to_string()]),
+            2
+        );
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn telemetry_out_writes_registry_exports() {
+        let table = temp_path("telem.uniqhrtf");
+        let prom = temp_path("telem.prom");
+        let json = temp_path("telem.json");
+        run(&argv(&format!(
+            "personalize --seed 6 --out {} --anechoic --grid 15 \
+             --telemetry-out {} --telemetry-json {}",
+            table.display(),
+            prom.display(),
+            json.display()
+        )))
+        .expect("personalize with telemetry");
+
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("uniq_personalize_ns_count"), "{text}");
+        assert!(text.contains("uniq_obs_telemetry_overhead_ns"), "{text}");
+
+        let doc =
+            uniq_profile::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(doc.get("spans").unwrap().get("personalize").is_some());
+        assert!(doc.get("overhead_ns").is_some());
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&prom).ok();
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn history_ledger_round_trip_and_gates() {
+        let table = temp_path("hist.uniqhrtf");
+        let history = temp_path("hist.jsonl");
+        std::fs::remove_file(&history).ok();
+        for _ in 0..2 {
+            let out = run(&argv(&format!(
+                "personalize --seed 6 --out {} --anechoic --grid 15 --history {}",
+                table.display(),
+                history.display()
+            )))
+            .expect("personalize with history");
+            assert!(out.contains("ledger record appended"), "{out}");
+        }
+
+        // Two identical runs: compare and trend both pass.
+        let f = history.display().to_string();
+        assert_eq!(history_cmd(&["compare".to_string(), f.clone()]), 0);
+        assert_eq!(history_cmd(&["trend".to_string(), f.clone()]), 0);
+
+        // Inject a >2% quality drift into a third record: trend flags it.
+        let text = std::fs::read_to_string(&history).unwrap();
+        let last = uniq_profile::json::Json::parse(text.lines().last().unwrap()).unwrap();
+        let mut rec = uniq_telemetry::ledger::LedgerRecord::from_json(&last).unwrap();
+        if let Some(v) = rec.quality.get_mut("localization_median_deg") {
+            *v *= 1.10;
+        }
+        uniq_telemetry::ledger::append(&history, &rec).unwrap();
+        assert_eq!(history_cmd(&["trend".to_string(), f.clone()]), 2);
+
+        // Usage errors exit 2.
+        assert_eq!(history_cmd(&[]), 2);
+        assert_eq!(history_cmd(&["trend".to_string()]), 2);
+        assert_eq!(
+            history_cmd(&["compare".to_string(), "/nonexistent/h.jsonl".to_string()]),
+            2
+        );
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&history).ok();
     }
 }

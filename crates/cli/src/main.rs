@@ -7,6 +7,15 @@ use uniq_cli::commands;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `trace` and `history` take positional file arguments, which
+    // Args::parse rejects by design — they are dispatched on the raw argv
+    // before any wrapper peeling. Their exit codes carry gate semantics
+    // (0 ok, 1 finding, 2 usage), so they exit directly.
+    match raw.first().map(String::as_str) {
+        Some("trace") => std::process::exit(commands::trace_cmd(&raw[1..])),
+        Some("history") => std::process::exit(commands::history_cmd(&raw[1..])),
+        _ => {}
+    }
     // `profile` and `faults` wrap another command (`uniq profile faults
     // personalize …`), so wrapper words are peeled off before Args::parse,
     // which allows exactly one positional. Each wrapper may appear once,

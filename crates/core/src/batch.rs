@@ -38,11 +38,18 @@ pub fn personalize_batch(
     threads: usize,
     max_attempts: usize,
 ) -> Vec<BatchOutcome> {
+    // One trace for the whole batch, derived from the seed list; the
+    // per-subject `personalize` trace guards become no-ops beneath it.
+    let _trace = uniq_obs::trace(
+        seeds
+            .iter()
+            .fold(0x0062_6174_6368_u64, |h, &s| h.rotate_left(5) ^ s),
+    );
     let _span = uniq_obs::span(uniq_obs::names::SPAN_BATCH);
     let pool = uniq_par::pool(threads);
     let ctx = uniq_obs::capture();
     let outcomes = pool.par_map_chunked(seeds, 1, |&seed| {
-        ctx.run(|| {
+        ctx.run_indexed(seed, || {
             let sw = Stopwatch::start();
             let subject = Subject::from_seed(seed);
             let result = personalize_with_retry(&subject, cfg, seed, max_attempts);

@@ -78,6 +78,10 @@ pub fn personalize(
 ) -> Result<PersonalizationResult, PersonalizationError> {
     cfg.validate()
         .map_err(PersonalizationError::InvalidConfig)?;
+    // Derive the trace from the attempt seed: each retry (seed + 10 000 ·
+    // attempt) is its own causal tree, so span ids stay unique across
+    // attempts. A no-op under an enclosing trace (e.g. a batch run).
+    let _trace = uniq_obs::trace(seed);
     let _span = uniq_obs::span(uniq_obs::names::SPAN_PERSONALIZE);
     let session = run_session(subject, cfg, seed).map_err(PersonalizationError::Session)?;
     let inputs = session_to_inputs(&session, cfg);
@@ -204,6 +208,7 @@ pub fn personalize_faulted(
 ) -> Result<FaultedPersonalization, PersonalizationError> {
     cfg.validate()
         .map_err(PersonalizationError::InvalidConfig)?;
+    let _trace = uniq_obs::trace(seed);
     let _span = uniq_obs::span(uniq_obs::names::SPAN_PERSONALIZE);
     let (session, degradation) = {
         let _faults_span = uniq_obs::span(uniq_obs::names::SPAN_FAULTS);

@@ -135,14 +135,15 @@ pub fn run_session(
 
     // Each stop is an independent record → deconvolve → gate computation,
     // so the sweep fans out across the pool. `try_par_map` evaluates every
-    // stop and reports the lowest-index failure, and `ctx.run` re-installs
-    // the caller's observability sink/depth on the workers so spans and
-    // metrics land exactly as the sequential loop emitted them.
+    // stop and reports the lowest-index failure, and `ctx.run_indexed`
+    // re-installs the caller's observability sink/depth/trace on the
+    // workers — keyed by the stop index, so each stop's spans get ids that
+    // depend on the stop, never on which worker ran it.
     let indexed: Vec<usize> = (0..prep.stops.len()).collect();
     let pool = uniq_par::pool(cfg.threads);
     let ctx = uniq_obs::capture();
     let out = pool.try_par_map(&indexed, |&i| {
-        ctx.run(|| {
+        ctx.run_indexed(i as u64, || {
             let stop = &prep.stops[i];
             let idx = i * (prep.traj.len() - 1) / (cfg.stops - 1);
             let rec = record_point_source(
@@ -266,7 +267,7 @@ pub fn run_session_faulted(
     let pool = uniq_par::pool(cfg.threads);
     let ctx = uniq_obs::capture();
     let outcomes = pool.try_par_map(&indexed, |&i| {
-        ctx.run(|| degrade_stop(i, &prep, cfg, seed, hook, policy))
+        ctx.run_indexed(i as u64, || degrade_stop(i, &prep, cfg, seed, hook, policy))
     })?;
 
     let mut stops = Vec::with_capacity(outcomes.len());

@@ -1,13 +1,17 @@
-//! A minimal JSON reader for the profiling layer's own output.
+//! A minimal JSON reader shared by the observability stack.
 //!
-//! The workspace has no serde (no crates.io access), and the profiling
-//! layer needs to *read* JSON in exactly two places: the baseline
-//! comparator (`BENCH_BASELINE.json` vs a fresh run) and the CI smoke
-//! that validates `--profile-out` files. This is a small recursive-descent
-//! parser covering the full JSON grammar — objects, arrays, strings with
-//! escapes (including `\uXXXX` surrogate pairs), numbers, literals —
-//! with positions in error messages. It does not aim to be fast; the
-//! documents involved are kilobytes.
+//! The workspace has no serde (no crates.io access), but several layers
+//! need to *read* JSON the workspace itself wrote: the baseline comparator
+//! (`BENCH_BASELINE.json` vs a fresh run), the CI smoke that validates
+//! `--profile-out` files, and the telemetry layer's trace-tree and
+//! run-ledger readers. It lives in `uniq-obs` — the root of the
+//! observability dependency chain — so those consumers share one parser
+//! instead of growing parallel ad-hoc ones (`uniq-profile` re-exports it
+//! as `uniq_profile::json` for compatibility). This is a small
+//! recursive-descent parser covering the full JSON grammar — objects,
+//! arrays, strings with escapes (including `\uXXXX` surrogate pairs),
+//! numbers, literals — with positions in error messages. It does not aim
+//! to be fast; the documents involved are kilobytes.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]

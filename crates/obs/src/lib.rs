@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod names;
 pub mod report;
 pub mod sink;
@@ -47,6 +48,26 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Deterministic causal identifiers attached to span events.
+///
+/// Ids are pure functions of *tree position* — the enclosing trace, the
+/// chain of ancestor spans (with explicit lane forks at
+/// [`ObsContext::run_indexed`] boundaries), the span name, and the
+/// sibling sequence number — never of scheduling, arrival order, or
+/// process history. The same seeded workload therefore emits bit-identical
+/// `(trace, span, parent)` triples at every thread count, and a JSONL
+/// trace file reconstructs into the same tree however the run was
+/// scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanIds {
+    /// Per-run trace id (0 when no [`trace`] context is active).
+    pub trace: u64,
+    /// This span's id (unique within its trace; never 0).
+    pub span: u64,
+    /// The parent span's id (0 for trace roots).
+    pub parent: u64,
+}
 
 /// One observability event, as delivered to sinks.
 ///
@@ -62,6 +83,8 @@ pub enum Event {
         name: &'static str,
         /// Nesting depth at open time.
         depth: usize,
+        /// Causal identity of this span.
+        ids: SpanIds,
     },
     /// A span closed.
     SpanEnd {
@@ -71,6 +94,8 @@ pub enum Event {
         depth: usize,
         /// Wall-clock duration, nanoseconds.
         nanos: u128,
+        /// Causal identity of this span (matches the start event).
+        ids: SpanIds,
     },
     /// A monotonically accumulating count.
     Counter {
@@ -102,6 +127,158 @@ thread_local! {
     static SCOPED: RefCell<Vec<Arc<dyn Sink>>> = const { RefCell::new(Vec::new()) };
     /// Current span nesting depth on this thread.
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Active trace id on this thread (0 = none).
+    static TRACE: Cell<u64> = const { Cell::new(0) };
+    /// Open id-derivation frames on this thread (trace root, open spans,
+    /// and lane forks installed by [`ObsContext::run`]/`run_indexed`).
+    static ID_STACK: RefCell<Vec<IdFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One frame of the id-derivation stack. `span` is the id reported as
+/// parent by child spans; `key` seeds their id derivation (equal to `span`
+/// for ordinary spans, forked per lane for cross-thread contexts so
+/// parallel items mint disjoint ids while still naming the true parent).
+#[derive(Debug, Clone, Copy)]
+struct IdFrame {
+    span: u64,
+    key: u64,
+    next_child: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Domain separators so trace ids, lane keys and span ids drawn from the
+/// same seed never collide structurally.
+const TRACE_SALT: u64 = 0x7261_6365_2d69_6431; // "race-id1"
+const LANE_SALT: u64 = 0x6c61_6e65_2d69_6431; // "lane-id1"
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Fibonacci/SplitMix finalizer: a cheap, well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn mix(key: u64, salt: u64) -> u64 {
+    splitmix64(key ^ splitmix64(salt))
+}
+
+fn nonzero(id: u64) -> u64 {
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+fn derive_trace_id(key: u64) -> u64 {
+    nonzero(mix(key, TRACE_SALT))
+}
+
+fn derive_lane_key(parent_key: u64, lane: u64) -> u64 {
+    mix(parent_key, lane ^ LANE_SALT)
+}
+
+fn derive_span_id(parent_key: u64, name: &str, seq: u64) -> u64 {
+    nonzero(mix(
+        parent_key,
+        fnv1a(name).wrapping_add(seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    ))
+}
+
+/// Derives this thread's next span identity for `name` and pushes its
+/// frame. With no enclosing frame, the span roots directly under the
+/// active trace (or trace 0 when none is active).
+fn push_span_frame(name: &str) -> SpanIds {
+    let trace = TRACE.with(|t| t.get());
+    ID_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let (parent_span, parent_key, seq) = match stack.last_mut() {
+            Some(frame) => {
+                let seq = frame.next_child;
+                frame.next_child += 1;
+                (frame.span, frame.key, seq)
+            }
+            None => (0, trace, 0),
+        };
+        let span = derive_span_id(parent_key, name, seq);
+        stack.push(IdFrame {
+            span,
+            key: span,
+            next_child: 0,
+        });
+        SpanIds {
+            trace,
+            span,
+            parent: parent_span,
+        }
+    })
+}
+
+fn pop_span_frame(ids: SpanIds) {
+    ID_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        // Tolerate imbalance (a sink scope torn down mid-span): only pop
+        // the frame this span actually pushed.
+        if stack.last().map(|f| f.span) == Some(ids.span) {
+            stack.pop();
+        }
+    });
+}
+
+/// Begins a deterministic trace on this thread: all spans opened until the
+/// returned guard drops share one `trace_id` derived from `key` (a seed,
+/// typically), and root spans get `parent_id = 0`. Nested calls are no-ops
+/// — the outermost trace wins — so a pipeline entry point can install its
+/// per-attempt trace unconditionally even when a batch driver already did.
+/// Inert (and free) when no sink is installed.
+#[must_use = "the trace ends when the guard drops — bind it with `let _trace = ...`"]
+pub fn trace(key: u64) -> TraceGuard {
+    if !enabled() || TRACE.with(|t| t.get()) != 0 {
+        return TraceGuard { owned: None };
+    }
+    let id = derive_trace_id(key);
+    TRACE.with(|t| t.set(id));
+    ID_STACK.with(|s| {
+        s.borrow_mut().push(IdFrame {
+            span: 0,
+            key: id,
+            next_child: 0,
+        })
+    });
+    TraceGuard { owned: Some(id) }
+}
+
+/// RAII guard for an active trace context (see [`trace`]).
+#[derive(Debug)]
+pub struct TraceGuard {
+    owned: Option<u64>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.owned.take() {
+            ID_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(top) = stack.last() {
+                    if top.span == 0 && top.key == id {
+                        stack.pop();
+                    }
+                }
+            });
+            TRACE.with(|t| t.set(0));
+        }
+    }
 }
 
 /// Whether any sink could currently receive events. This is the cheap
@@ -190,6 +367,9 @@ pub fn with_sink<T>(sink: Arc<dyn Sink>, f: impl FnOnce() -> T) -> T {
 pub struct ObsContext {
     sink: Option<Arc<dyn Sink>>,
     depth: usize,
+    trace: u64,
+    parent_span: u64,
+    parent_key: u64,
 }
 
 impl std::fmt::Debug for ObsContext {
@@ -197,37 +377,83 @@ impl std::fmt::Debug for ObsContext {
         f.debug_struct("ObsContext")
             .field("has_sink", &self.sink.is_some())
             .field("depth", &self.depth)
+            .field("trace", &self.trace)
+            .field("parent_span", &self.parent_span)
             .finish()
     }
 }
 
-/// Captures the calling thread's current sink and span depth. Cheap when
-/// no sink is installed.
+/// Captures the calling thread's current sink, span depth, and causal
+/// position (trace id + innermost open span). Cheap when no sink is
+/// installed.
 pub fn capture() -> ObsContext {
+    let active = ACTIVE_SINKS.load(Ordering::Relaxed) != 0;
+    let trace = if active { TRACE.with(|t| t.get()) } else { 0 };
+    let (parent_span, parent_key) = if active {
+        ID_STACK.with(|s| {
+            s.borrow()
+                .last()
+                .map(|f| (f.span, f.key))
+                .unwrap_or((0, trace))
+        })
+    } else {
+        (0, 0)
+    };
     ObsContext {
-        sink: if ACTIVE_SINKS.load(Ordering::Relaxed) != 0 {
-            current_sink()
-        } else {
-            None
-        },
+        sink: if active { current_sink() } else { None },
         depth: current_depth(),
+        trace,
+        parent_span,
+        parent_key,
     }
 }
 
 impl ObsContext {
-    /// Runs `f` with this context's sink and span depth installed on the
-    /// current thread, restoring the previous state afterwards (exception
-    /// safe). With no captured sink, `f` runs unmodified.
+    /// Runs `f` with this context's sink, span depth and causal position
+    /// installed on the current thread, restoring the previous state
+    /// afterwards (exception safe). With no captured sink, `f` runs
+    /// unmodified.
+    ///
+    /// Spans `f` opens derive their ids from the captured position
+    /// directly; in a parallel fan-out where several items run under one
+    /// captured context, use [`ObsContext::run_indexed`] instead so each
+    /// item mints disjoint span ids.
     pub fn run<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.run_with_key(self.parent_key, f)
+    }
+
+    /// Like [`ObsContext::run`], but forks the id-derivation key by
+    /// `lane` — a deterministic per-item number (item index, seed, …) that
+    /// does not depend on scheduling. Every lane derives a disjoint span-id
+    /// sequence while spans still report the captured span as parent, so
+    /// per-item subtrees stay unique *and* bit-identical across thread
+    /// counts.
+    pub fn run_indexed<T>(&self, lane: u64, f: impl FnOnce() -> T) -> T {
+        self.run_with_key(derive_lane_key(self.parent_key, lane), f)
+    }
+
+    fn run_with_key<T>(&self, key: u64, f: impl FnOnce() -> T) -> T {
         let Some(sink) = self.sink.clone() else {
             return f();
         };
         let depth = self.depth;
+        let trace = self.trace;
+        let parent_span = self.parent_span;
         with_sink(sink, || {
             struct DepthGuard(usize);
             impl Drop for DepthGuard {
                 fn drop(&mut self) {
                     DEPTH.with(|d| d.set(self.0));
+                }
+            }
+            struct IdGuard {
+                prev_trace: u64,
+                prev_len: usize,
+            }
+            impl Drop for IdGuard {
+                fn drop(&mut self) {
+                    ID_STACK.with(|s| s.borrow_mut().truncate(self.prev_len));
+                    TRACE.with(|t| t.set(self.prev_trace));
                 }
             }
             let prev = DEPTH.with(|d| {
@@ -236,6 +462,25 @@ impl ObsContext {
                 v
             });
             let _restore = DepthGuard(prev);
+            let prev_trace = TRACE.with(|t| {
+                let v = t.get();
+                t.set(trace);
+                v
+            });
+            let prev_len = ID_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let len = stack.len();
+                stack.push(IdFrame {
+                    span: parent_span,
+                    key,
+                    next_child: 0,
+                });
+                len
+            });
+            let _ids = IdGuard {
+                prev_trace,
+                prev_len,
+            };
             f()
         })
     }
@@ -260,11 +505,13 @@ pub fn span(name: &'static str) -> SpanGuard {
         d.set(v + 1);
         v
     });
-    dispatch(&Event::SpanStart { name, depth });
+    let ids = push_span_frame(name);
+    dispatch(&Event::SpanStart { name, depth, ids });
     SpanGuard {
         live: Some(LiveSpan {
             name,
             depth,
+            ids,
             start: Instant::now(),
         }),
     }
@@ -273,6 +520,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 struct LiveSpan {
     name: &'static str,
     depth: usize,
+    ids: SpanIds,
     start: Instant,
 }
 
@@ -293,10 +541,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            pop_span_frame(live.ids);
             dispatch(&Event::SpanEnd {
                 name: live.name,
                 depth: live.depth,
                 nanos: live.start.elapsed().as_nanos(),
+                ids: live.ids,
             });
         }
     }
@@ -456,5 +706,169 @@ mod tests {
             counter("retries", 2);
         });
         assert_eq!(sink.counter_total("retries"), 3);
+    }
+
+    fn start_ids(events: &[Event]) -> Vec<(&'static str, SpanIds)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { name, ids, .. } => Some((*name, *ids)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn span_ids_deterministic_unique_and_linked() {
+        let record = || {
+            let sink = Arc::new(MemorySink::new());
+            with_sink(sink.clone(), || {
+                let _trace = trace(42);
+                let _root = span("root");
+                {
+                    let _a = span("a");
+                }
+                {
+                    let _a = span("a");
+                }
+                let _b = span("b");
+            });
+            start_ids(&sink.events())
+        };
+        let first = record();
+        let second = record();
+        assert_eq!(first, second, "ids depend on something besides position");
+
+        let ids: Vec<SpanIds> = first.iter().map(|(_, i)| *i).collect();
+        assert!(ids.iter().all(|i| i.trace == ids[0].trace && i.trace != 0));
+        for (k, i) in ids.iter().enumerate() {
+            assert!(i.span != 0);
+            assert!(
+                !ids[..k].iter().any(|j| j.span == i.span),
+                "duplicate span id at position {k}"
+            );
+        }
+        // Both `a` siblings and `b` parent to `root`; `root` is the trace root.
+        assert_eq!(ids[0].parent, 0);
+        for child in &ids[1..] {
+            assert_eq!(child.parent, ids[0].span);
+        }
+    }
+
+    #[test]
+    fn sibling_spans_same_name_get_distinct_ids() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            let _trace = trace(7);
+            let _root = span("root");
+            for _ in 0..3 {
+                let _leaf = span("leaf");
+            }
+        });
+        let ids = start_ids(&sink.events());
+        let leaves: Vec<u64> = ids
+            .iter()
+            .filter(|(n, _)| *n == "leaf")
+            .map(|(_, i)| i.span)
+            .collect();
+        assert_eq!(leaves.len(), 3);
+        assert!(leaves[0] != leaves[1] && leaves[1] != leaves[2] && leaves[0] != leaves[2]);
+    }
+
+    #[test]
+    fn nested_trace_is_a_noop_and_outer_wins() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            let _outer = trace(1);
+            let outer_id = TRACE.with(|t| t.get());
+            {
+                let _inner = trace(2);
+                assert_eq!(TRACE.with(|t| t.get()), outer_id, "inner trace took over");
+                let _s = span("inside");
+            }
+            assert_eq!(
+                TRACE.with(|t| t.get()),
+                outer_id,
+                "inner drop cleared trace"
+            );
+        });
+        assert_eq!(TRACE.with(|t| t.get()), 0, "trace leaked past its guard");
+        let ids = start_ids(&sink.events());
+        assert_eq!(ids[0].1.trace, derive_trace_id(1));
+    }
+
+    #[test]
+    fn run_indexed_forks_lanes_deterministically() {
+        let record = |lanes: &[u64]| {
+            let sink = Arc::new(MemorySink::new());
+            let mut out = Vec::new();
+            with_sink(sink.clone(), || {
+                let _trace = trace(9);
+                let _root = span("root");
+                let ctx = capture();
+                for &lane in lanes {
+                    ctx.run_indexed(lane, || {
+                        let _item = span("item");
+                    });
+                }
+            });
+            out.extend(start_ids(&sink.events()));
+            out
+        };
+        let inline = record(&[0, 1, 2]);
+        // The same lanes visited in a different order (as a racing pool
+        // would) mint the same per-lane ids.
+        let shuffled = record(&[2, 0, 1]);
+        let key = |v: &[(&str, SpanIds)]| {
+            let mut items: Vec<SpanIds> = v
+                .iter()
+                .filter(|(n, _)| *n == "item")
+                .map(|(_, i)| *i)
+                .collect();
+            items.sort_by_key(|i| i.span);
+            items
+        };
+        assert_eq!(key(&inline), key(&shuffled));
+        let items = key(&inline);
+        assert_eq!(items.len(), 3);
+        let root = inline[0].1;
+        for item in &items {
+            assert_eq!(item.parent, root.span, "lane child lost its true parent");
+            assert_eq!(item.trace, root.trace);
+        }
+    }
+
+    #[test]
+    fn run_indexed_across_threads_matches_inline() {
+        let run = |parallel: bool| {
+            let sink = Arc::new(MemorySink::new());
+            with_sink(sink.clone(), || {
+                let _trace = trace(11);
+                let _root = span("root");
+                let ctx = capture();
+                if parallel {
+                    std::thread::scope(|s| {
+                        for lane in 0..4u64 {
+                            let ctx = ctx.clone();
+                            s.spawn(move || {
+                                ctx.run_indexed(lane, || {
+                                    let _w = span("work");
+                                })
+                            });
+                        }
+                    });
+                } else {
+                    for lane in 0..4u64 {
+                        ctx.run_indexed(lane, || {
+                            let _w = span("work");
+                        });
+                    }
+                }
+            });
+            let mut ids = start_ids(&sink.events());
+            ids.sort_by_key(|(_, i)| i.span);
+            ids
+        };
+        assert_eq!(run(false), run(true));
     }
 }

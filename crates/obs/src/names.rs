@@ -63,6 +63,20 @@ pub const FAULTS_INJECTED: &str = "faults.injected";
 /// Mean quality over the stops a degraded run kept.
 pub const DEGRADATION_MEAN_QUALITY: &str = "degradation.mean_quality";
 
+/// Point sources mixed by the binaural render engine (counter).
+pub const RENDER_SOURCES: &str = "render.sources";
+/// Signal blocks rendered by the motion renderer (counter).
+pub const RENDER_BLOCKS: &str = "render.blocks";
+/// Samples crossfaded at one block boundary of a motion render.
+pub const RENDER_CROSSFADE_SAMPLES: &str = "render.crossfade_samples";
+/// Externalization proxy score of a rendered/reference comparison, `[0, 1]`.
+pub const RENDER_EXTERNALIZATION_PROXY: &str = "render.externalization_proxy";
+
+/// Nanoseconds the telemetry registry spent recording its own events —
+/// observability cost, itself observed (emitted at snapshot time by
+/// `uniq-telemetry`).
+pub const OBS_TELEMETRY_OVERHEAD_NS: &str = "obs.telemetry_overhead_ns";
+
 /// Every metric/counter name the workspace may emit. The workspace-level
 /// `every_emitted_name_is_registered` test runs a full pipeline under a
 /// `MemorySink` and asserts the emitted set is a subset of this list, so
@@ -89,6 +103,11 @@ pub const ALL_METRICS: &[&str] = &[
     SESSION_STOPS_RETRIED,
     FAULTS_INJECTED,
     DEGRADATION_MEAN_QUALITY,
+    RENDER_SOURCES,
+    RENDER_BLOCKS,
+    RENDER_CROSSFADE_SAMPLES,
+    RENDER_EXTERNALIZATION_PROXY,
+    OBS_TELEMETRY_OVERHEAD_NS,
 ];
 
 // Span names. Spans are the unit the profiling layer (`uniq-profile`)
@@ -120,6 +139,12 @@ pub const SPAN_BATCH: &str = "batch";
 /// A fault-injected measurement session (wraps `session` when a
 /// `FaultPlan` is active; never opened on the clean path).
 pub const SPAN_FAULTS: &str = "faults";
+/// One binaural engine mix (all sources at one pose).
+pub const SPAN_RENDER_ENGINE: &str = "render.engine";
+/// A block-based motion render (pose sampling + crossfade + overlap-add).
+pub const SPAN_RENDER_MOTION: &str = "render.motion";
+/// Binaural quality-metric computation (LSD / ITD / ILD comparison).
+pub const SPAN_RENDER_METRICS: &str = "render.metrics";
 
 /// Every span name the workspace may open (see [`ALL_METRICS`] for the
 /// covering test).
@@ -135,6 +160,9 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_AOA_UNKNOWN,
     SPAN_BATCH,
     SPAN_FAULTS,
+    SPAN_RENDER_ENGINE,
+    SPAN_RENDER_MOTION,
+    SPAN_RENDER_METRICS,
 ];
 
 /// The spans every successful `personalize` run must traverse — the

@@ -251,20 +251,20 @@ impl Report {
         for event in events {
             match event {
                 Event::SpanStart { .. } => {}
-                Event::SpanEnd { name, depth, nanos } => {
-                    match report.spans.iter_mut().find(|s| s.name == *name) {
-                        Some(s) => {
-                            s.count += 1;
-                            s.total_nanos += nanos;
-                        }
-                        None => report.spans.push(SpanStats {
-                            name: name.to_string(),
-                            depth: *depth,
-                            count: 1,
-                            total_nanos: *nanos,
-                        }),
+                Event::SpanEnd {
+                    name, depth, nanos, ..
+                } => match report.spans.iter_mut().find(|s| s.name == *name) {
+                    Some(s) => {
+                        s.count += 1;
+                        s.total_nanos += nanos;
                     }
-                }
+                    None => report.spans.push(SpanStats {
+                        name: name.to_string(),
+                        depth: *depth,
+                        count: 1,
+                        total_nanos: *nanos,
+                    }),
+                },
                 Event::Counter { name, delta } => {
                     *report.counters.entry(name.to_string()).or_insert(0) += delta;
                 }
@@ -341,28 +341,34 @@ mod tests {
     use super::*;
 
     fn sample_events() -> Vec<Event> {
+        let ids = crate::SpanIds::default();
         vec![
             Event::SpanStart {
                 name: "root",
                 depth: 0,
+                ids,
             },
             Event::SpanStart {
                 name: "stage",
                 depth: 1,
+                ids,
             },
             Event::SpanEnd {
                 name: "stage",
                 depth: 1,
                 nanos: 500,
+                ids,
             },
             Event::SpanStart {
                 name: "stage",
                 depth: 1,
+                ids,
             },
             Event::SpanEnd {
                 name: "stage",
                 depth: 1,
                 nanos: 700,
+                ids,
             },
             Event::Metric {
                 name: "residual",
@@ -382,6 +388,7 @@ mod tests {
                 name: "root",
                 depth: 0,
                 nanos: 2000,
+                ids,
             },
         ]
     }

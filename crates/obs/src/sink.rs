@@ -72,8 +72,10 @@ impl Sink for StderrSink {
         // which on this sink's thread is the current depth.
         let pad = |depth: usize| "  ".repeat(depth);
         match event {
-            Event::SpanStart { name, depth } => eprintln!("{}> {name}", pad(*depth)),
-            Event::SpanEnd { name, depth, nanos } => {
+            Event::SpanStart { name, depth, .. } => eprintln!("{}> {name}", pad(*depth)),
+            Event::SpanEnd {
+                name, depth, nanos, ..
+            } => {
                 eprintln!("{}< {name} {}", pad(*depth), human_duration(*nanos))
             }
             Event::Counter { name, delta } => {
@@ -91,12 +93,19 @@ impl Sink for StderrSink {
     }
 }
 
-/// Machine-readable JSON-lines events, one object per line:
+/// Machine-readable JSON-lines events, one object per line, preceded by a
+/// one-line schema header:
 ///
 /// ```json
-/// {"event":"span_end","name":"fusion","depth":1,"nanos":41233000}
+/// {"event":"header","schema":1,"format":"uniq-obs-jsonl"}
+/// {"event":"span_end","name":"fusion","depth":1,"nanos":41233000,"trace":"4be9…","span":"91c2…","parent":"07aa…"}
 /// {"event":"metric","name":"fusion.residual_deg","value":3.42,"unit":"deg"}
 /// ```
+///
+/// Span ids are fixed-width lowercase hex strings (not JSON numbers: a
+/// 64-bit id does not survive an f64 round-trip). Readers — the telemetry
+/// trace reporter — accept files with and without the header line, so
+/// pre-schema trace files stay parseable.
 ///
 /// Writes are buffered (a per-event flush would syscall on every span of
 /// a hot pipeline) and pushed to disk on [`Sink::flush`] and on drop, so
@@ -107,11 +116,21 @@ pub struct JsonLinesSink {
     out: Mutex<BufWriter<File>>,
 }
 
+/// Schema stamp on the [`JsonLinesSink`] header line; bump on any
+/// incompatible line-shape change so readers can refuse early.
+pub const JSONL_SCHEMA_VERSION: u64 = 1;
+
 impl JsonLinesSink {
-    /// Creates (truncating) the output file.
+    /// Creates (truncating) the output file and buffers the schema header
+    /// line.
     pub fn create(path: &Path) -> std::io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(
+            out,
+            "{{\"event\":\"header\",\"schema\":{JSONL_SCHEMA_VERSION},\"format\":\"uniq-obs-jsonl\"}}"
+        )?;
         Ok(JsonLinesSink {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            out: Mutex::new(out),
         })
     }
 }
@@ -156,13 +175,26 @@ pub fn json_number(v: f64) -> String {
 impl Sink for JsonLinesSink {
     fn on_event(&self, event: &Event) {
         let line = match event {
-            Event::SpanStart { name, depth } => format!(
-                "{{\"event\":\"span_start\",\"name\":\"{}\",\"depth\":{depth}}}",
-                json_escape(name)
+            Event::SpanStart { name, depth, ids } => format!(
+                "{{\"event\":\"span_start\",\"name\":\"{}\",\"depth\":{depth},\
+                 \"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}",
+                json_escape(name),
+                ids.trace,
+                ids.span,
+                ids.parent
             ),
-            Event::SpanEnd { name, depth, nanos } => format!(
-                "{{\"event\":\"span_end\",\"name\":\"{}\",\"depth\":{depth},\"nanos\":{nanos}}}",
-                json_escape(name)
+            Event::SpanEnd {
+                name,
+                depth,
+                nanos,
+                ids,
+            } => format!(
+                "{{\"event\":\"span_end\",\"name\":\"{}\",\"depth\":{depth},\"nanos\":{nanos},\
+                 \"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}",
+                json_escape(name),
+                ids.trace,
+                ids.span,
+                ids.parent
             ),
             Event::Counter { name, delta } => format!(
                 "{{\"event\":\"counter\",\"name\":\"{}\",\"delta\":{delta}}}",
@@ -209,7 +241,7 @@ impl MemorySink {
         self.events()
             .into_iter()
             .filter_map(|e| match e {
-                Event::SpanStart { name, depth } => Some((name.to_string(), depth)),
+                Event::SpanStart { name, depth, .. } => Some((name.to_string(), depth)),
                 _ => None,
             })
             .collect()
@@ -295,6 +327,7 @@ impl Sink for MultiSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SpanIds;
     use std::sync::Arc;
 
     #[test]
@@ -324,6 +357,11 @@ mod tests {
             sink.on_event(&Event::SpanStart {
                 name: "s",
                 depth: 0,
+                ids: SpanIds {
+                    trace: 0xabc,
+                    span: 0x1,
+                    parent: 0,
+                },
             });
             sink.on_event(&Event::Metric {
                 name: "m",
@@ -334,17 +372,32 @@ mod tests {
                 name: "s",
                 depth: 0,
                 nanos: 1000,
+                ids: SpanIds {
+                    trace: 0xabc,
+                    span: 0x1,
+                    parent: 0,
+                },
             });
         }
         let content = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = content.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "{\"event\":\"span_start\",\"name\":\"s\",\"depth\":0}"
+            "{\"event\":\"header\",\"schema\":1,\"format\":\"uniq-obs-jsonl\"}"
         );
-        assert!(lines[1].contains("\"value\":2.5"));
-        assert!(lines[2].contains("\"nanos\":1000"));
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"span_start\",\"name\":\"s\",\"depth\":0,\
+             \"trace\":\"0000000000000abc\",\"span\":\"0000000000000001\",\
+             \"parent\":\"0000000000000000\"}"
+        );
+        assert!(lines[2].contains("\"value\":2.5"));
+        assert!(lines[3].contains("\"nanos\":1000"));
+        // Every line parses back through the shared JSON reader.
+        for line in lines {
+            crate::json::Json::parse(line).expect("self-emitted JSONL line parses");
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -391,11 +444,13 @@ mod tests {
             name: "s",
             depth: 0,
             nanos: 10,
+            ids: SpanIds::default(),
         });
         m.on_event(&Event::SpanEnd {
             name: "s",
             depth: 0,
             nanos: 32,
+            ids: SpanIds::default(),
         });
         assert_eq!(m.span_nanos("s"), 42);
         assert_eq!(m.span_nanos("other"), 0);

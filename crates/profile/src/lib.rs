@@ -41,7 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+pub use uniq_obs::json;
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
@@ -232,7 +232,9 @@ impl Sink for ProfileSink {
                         child_nanos: 0,
                     });
             }
-            Event::SpanEnd { name, depth, nanos } => {
+            Event::SpanEnd {
+                name, depth, nanos, ..
+            } => {
                 let label = thread_label();
                 let stack = state.stacks.entry(std::thread::current().id()).or_default();
                 // Pop the matching frame. A mismatch means the sink was
@@ -520,11 +522,20 @@ mod tests {
     use std::sync::Arc;
 
     fn end(name: &'static str, depth: usize, nanos: u128) -> Event {
-        Event::SpanEnd { name, depth, nanos }
+        Event::SpanEnd {
+            name,
+            depth,
+            nanos,
+            ids: uniq_obs::SpanIds::default(),
+        }
     }
 
     fn start(name: &'static str, depth: usize) -> Event {
-        Event::SpanStart { name, depth }
+        Event::SpanStart {
+            name,
+            depth,
+            ids: uniq_obs::SpanIds::default(),
+        }
     }
 
     /// root(1000) { a(300), a(100) } — classic self-time split.

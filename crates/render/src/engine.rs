@@ -63,6 +63,10 @@ impl BinauralEngine {
         pose: &ListenerPose,
         pairs: &[(&[f64], &crate::scene::SceneSource)],
     ) -> BinauralSignal {
+        let _span = uniq_obs::span(uniq_obs::names::SPAN_RENDER_ENGINE);
+        if !pairs.is_empty() {
+            uniq_obs::counter(uniq_obs::names::RENDER_SOURCES, pairs.len() as u64);
+        }
         let mut left: Vec<f64> = Vec::new();
         let mut right: Vec<f64> = Vec::new();
         for (signal, source) in pairs {

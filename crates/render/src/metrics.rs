@@ -49,6 +49,7 @@ pub fn compare(
         !rendered.left.is_empty() && !reference.left.is_empty(),
         "cannot compare empty signals"
     );
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_RENDER_METRICS);
 
     // Frame-averaged log-spectral distortion per ear over the audible band.
     let lsd = |a: &[f64], b: &[f64]| -> f64 {
@@ -68,11 +69,17 @@ pub fn compare(
     };
     let ild_error_db = (ild(rendered) - ild(reference)).abs();
 
-    BinauralMetrics {
+    let m = BinauralMetrics {
         lsd_db,
         itd_error_samples,
         ild_error_db,
-    }
+    };
+    uniq_obs::metric(
+        uniq_obs::names::RENDER_EXTERNALIZATION_PROXY,
+        m.externalization_proxy(),
+        "score",
+    );
+    m
 }
 
 #[cfg(test)]

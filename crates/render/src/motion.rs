@@ -27,11 +27,21 @@ pub fn render_with_motion(
     assert!(block_len > 0, "block_len must be positive");
     assert!(fade_len < block_len, "fade must fit inside a block");
     assert!(!poses.is_empty(), "need at least one pose");
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_RENDER_MOTION);
 
     let mut left = vec![0.0; signal.len() + 4096];
     let mut right = vec![0.0; signal.len() + 4096];
 
     let n_blocks = signal.len().div_ceil(block_len);
+    if n_blocks > 0 {
+        uniq_obs::counter(uniq_obs::names::RENDER_BLOCKS, n_blocks as u64);
+        // fade_in + fade_out samples per interior boundary.
+        uniq_obs::metric(
+            uniq_obs::names::RENDER_CROSSFADE_SAMPLES,
+            (2 * fade_len * n_blocks.saturating_sub(1)) as f64,
+            "samples",
+        );
+    }
     for b in 0..n_blocks {
         let start = b * block_len;
         let end = (start + block_len + fade_len).min(signal.len());

@@ -1,0 +1,185 @@
+//! Exposition: the aggregated registry rendered for machines.
+//!
+//! Two formats: Prometheus-style text (counters, metric summaries with
+//! quantile-labelled min/max, span latency summaries in nanoseconds) and
+//! a single JSON document (stable key order) for programmatic consumers.
+
+use crate::metrics::RegistrySnapshot;
+use uniq_obs::sink::{json_escape, json_number};
+
+/// Maps a dotted registry name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("uniq_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as Prometheus-style exposition text.
+pub fn prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, total) in &snapshot.counters {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {total}\n"));
+    }
+    for (name, agg) in &snapshot.metrics {
+        let p = prom_name(name);
+        out.push_str(&format!(
+            "# TYPE {p} summary\n\
+             {p}{{quantile=\"0\"}} {}\n\
+             {p}{{quantile=\"1\"}} {}\n\
+             {p}_sum {}\n\
+             {p}_count {}\n",
+            prom_number(agg.min),
+            prom_number(agg.max),
+            prom_number(agg.sum),
+            agg.count,
+        ));
+    }
+    for (name, hist) in &snapshot.spans {
+        let p = format!("{}_ns", prom_name(name));
+        out.push_str(&format!(
+            "# TYPE {p} summary\n\
+             {p}{{quantile=\"0.5\"}} {}\n\
+             {p}{{quantile=\"0.99\"}} {}\n\
+             {p}_sum {}\n\
+             {p}_count {}\n",
+            hist.percentile(50.0),
+            hist.percentile(99.0),
+            hist.sum(),
+            hist.count(),
+        ));
+    }
+    out.push_str(&format!(
+        "# TYPE uniq_telemetry_dropped_events counter\nuniq_telemetry_dropped_events {}\n",
+        snapshot.dropped
+    ));
+    out
+}
+
+/// Prometheus number formatting (no `null` — NaN spells itself).
+fn prom_number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot as one JSON document (stable key order; parses
+/// with `uniq_obs::json`).
+pub fn snapshot_json(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"counters\": {");
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(name, total)| format!("\"{}\": {total}", json_escape(name)))
+        .collect();
+    out.push_str(&counters.join(", "));
+    out.push_str("},\n  \"metrics\": {");
+    let metrics: Vec<String> = snapshot
+        .metrics
+        .iter()
+        .map(|(name, agg)| {
+            format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                json_escape(name),
+                agg.count,
+                json_number(agg.sum),
+                json_number(agg.min),
+                json_number(agg.max),
+            )
+        })
+        .collect();
+    out.push_str(&metrics.join(", "));
+    out.push_str("},\n  \"spans\": {");
+    let spans: Vec<String> = snapshot
+        .spans
+        .iter()
+        .map(|(name, hist)| {
+            format!(
+                "\"{}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                json_escape(name),
+                hist.count(),
+                hist.sum(),
+                hist.percentile(50.0),
+                hist.percentile(99.0),
+            )
+        })
+        .collect();
+    out.push_str(&spans.join(", "));
+    out.push_str(&format!(
+        "}},\n  \"overhead_ns\": {},\n  \"dropped\": {}\n}}\n",
+        snapshot.overhead_ns, snapshot.dropped
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TelemetrySink;
+    use std::sync::Arc;
+    use uniq_obs::json::Json;
+    use uniq_obs::names::{FUSION_OBJECTIVE, SESSION_STOPS, SPAN_FUSION};
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        let sink = Arc::new(TelemetrySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            {
+                let _s = uniq_obs::span(SPAN_FUSION);
+            }
+            uniq_obs::counter(SESSION_STOPS, 7);
+            uniq_obs::metric(FUSION_OBJECTIVE, 2.5, "deg2");
+        });
+        sink.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_covers_every_series() {
+        let text = prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE uniq_session_stops counter"), "{text}");
+        assert!(text.contains("uniq_session_stops 7"), "{text}");
+        assert!(text.contains("uniq_fusion_objective_count 1"), "{text}");
+        assert!(
+            text.contains("uniq_fusion_objective{quantile=\"0\"} 2.5"),
+            "{text}"
+        );
+        assert!(text.contains("uniq_fusion_ns_count 1"), "{text}");
+        assert!(text.contains("uniq_obs_telemetry_overhead_ns"), "{text}");
+        assert!(text.contains("uniq_telemetry_dropped_events 0"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_parses_with_own_reader() {
+        let doc = Json::parse(&snapshot_json(&sample_snapshot())).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get(SESSION_STOPS)
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            doc.get("spans")
+                .unwrap()
+                .get(SPAN_FUSION)
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(doc.get("overhead_ns").is_some());
+    }
+}

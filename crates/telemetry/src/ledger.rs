@@ -1,0 +1,604 @@
+//! The cross-run ledger: one JSON line per benchmark or pipeline run,
+//! appended to `bench_results/history.jsonl`, plus the trend and
+//! comparison gates CI runs over it.
+//!
+//! Records deliberately carry **no timestamps** — the workspace's
+//! determinism discipline bars wall-clock values from anything a test
+//! might compare, and run order is already the line order. Each record
+//! carries its schema version inline (the file is append-only across
+//! code revisions, so a single header line could not describe it).
+//!
+//! Gate semantics (shared by [`trend`] and [`compare_last_two`]):
+//! exit 0 = clean, 1 = latency regression (warn tier — wall time varies
+//! with the machine), 2 = quality drift (fatal — quality numbers are
+//! pure functions of the pinned seeds).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use uniq_obs::json::Json;
+use uniq_obs::sink::{json_escape, json_number};
+
+/// Schema stamp carried inline by every ledger record.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Default relative tolerance for quality drift (fatal).
+pub const DEFAULT_QUALITY_TOL: f64 = 0.02;
+
+/// Default relative tolerance for latency regressions (warn tier).
+pub const DEFAULT_LATENCY_TOL: f64 = 0.5;
+
+/// The default ledger location, relative to the workspace root.
+pub const DEFAULT_HISTORY_FILE: &str = "bench_results/history.jsonl";
+
+/// One run's ledger entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Record schema version (see [`LEDGER_SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Workload label — records are only trended against the same label
+    /// (`"baseline"`, `"personalize"`, `"batch"`, …).
+    pub label: String,
+    /// Abbreviated git revision the run was built from (`"unknown"`
+    /// outside a checkout).
+    pub git_rev: String,
+    /// Base seed of the workload.
+    pub seed: u64,
+    /// Thread count (largest pool size for matrix runs).
+    pub threads: u64,
+    /// Wall-clock seconds of the headline workload.
+    pub wall_seconds: f64,
+    /// Output fingerprint in hex (empty when the workload has none).
+    pub fingerprint: String,
+    /// Quality numbers by name (deterministic functions of the seed).
+    pub quality: BTreeMap<String, f64>,
+    /// Per-stage p50 latency, nanoseconds.
+    pub stage_p50_ns: BTreeMap<String, f64>,
+    /// Per-stage p99 latency, nanoseconds.
+    pub stage_p99_ns: BTreeMap<String, f64>,
+    /// Degradation summary of a faulted run (`None` = clean).
+    pub degradation: Option<String>,
+}
+
+impl LedgerRecord {
+    /// An empty record for `label`, schema-stamped and revision-stamped.
+    pub fn new(label: &str) -> Self {
+        LedgerRecord {
+            schema: LEDGER_SCHEMA_VERSION,
+            label: label.to_string(),
+            git_rev: git_rev(Path::new(".")),
+            seed: 0,
+            threads: 1,
+            wall_seconds: 0.0,
+            fingerprint: String::new(),
+            quality: BTreeMap::new(),
+            stage_p50_ns: BTreeMap::new(),
+            stage_p99_ns: BTreeMap::new(),
+            degradation: None,
+        }
+    }
+
+    /// Builds a `"baseline"` record from a `BENCH_BASELINE.json`-shaped
+    /// document (the bench `baseline` binary's output).
+    pub fn from_baseline_doc(doc: &Json, label: &str) -> Result<LedgerRecord, String> {
+        let mut rec = LedgerRecord::new(label);
+        let meta = doc.get("meta").ok_or("document has no meta section")?;
+        rec.seed = meta
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("meta.seed missing")?;
+        rec.threads = meta
+            .get("thread_counts")
+            .and_then(Json::as_array)
+            .and_then(|counts| counts.iter().filter_map(Json::as_u64).max())
+            .unwrap_or(1);
+        let quality = doc
+            .get("quality")
+            .ok_or("document has no quality section")?;
+        if let Some(members) = quality.as_object() {
+            for (key, value) in members {
+                match value {
+                    Json::Num(v) => {
+                        rec.quality.insert(key.clone(), *v);
+                    }
+                    Json::Str(s) if key.contains("fingerprint") && rec.fingerprint.is_empty() => {
+                        rec.fingerprint = s.clone();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let perf = doc.get("perf").ok_or("document has no perf section")?;
+        if let Some(members) = perf.as_object() {
+            for (key, value) in members {
+                if key.starts_with("personalize_seconds_t") {
+                    if let Some(v) = value.as_f64() {
+                        // Headline wall time: the largest pool's run.
+                        rec.wall_seconds = v;
+                    }
+                }
+            }
+        }
+        for stage in perf.get("stages").and_then(Json::as_array).unwrap_or(&[]) {
+            let Some(name) = stage.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            if let Some(p50) = stage.get("p50_ns").and_then(Json::as_f64) {
+                rec.stage_p50_ns.insert(name.to_string(), p50);
+            }
+            if let Some(p99) = stage.get("p99_ns").and_then(Json::as_f64) {
+                rec.stage_p99_ns.insert(name.to_string(), p99);
+            }
+        }
+        Ok(rec)
+    }
+
+    /// Renders the record as one JSON line (stable key order).
+    pub fn to_json_line(&self) -> String {
+        let map = |m: &BTreeMap<String, f64>| {
+            m.iter()
+                .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_number(*v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut line = format!(
+            "{{\"schema\":{},\"label\":\"{}\",\"git_rev\":\"{}\",\"seed\":{},\
+             \"threads\":{},\"wall_seconds\":{},\"fingerprint\":\"{}\",\
+             \"quality\":{{{}}},\"stage_p50_ns\":{{{}}},\"stage_p99_ns\":{{{}}}",
+            self.schema,
+            json_escape(&self.label),
+            json_escape(&self.git_rev),
+            self.seed,
+            self.threads,
+            json_number(self.wall_seconds),
+            json_escape(&self.fingerprint),
+            map(&self.quality),
+            map(&self.stage_p50_ns),
+            map(&self.stage_p99_ns),
+        );
+        if let Some(deg) = &self.degradation {
+            line.push_str(&format!(",\"degradation\":\"{}\"", json_escape(deg)));
+        }
+        line.push('}');
+        line
+    }
+
+    /// Parses one record from a parsed JSON line.
+    pub fn from_json(doc: &Json) -> Result<LedgerRecord, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("record has no schema field")?;
+        if schema > LEDGER_SCHEMA_VERSION {
+            return Err(format!("unsupported ledger record schema v{schema}"));
+        }
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or(format!("record has no {key}"))
+        };
+        let num_map = |key: &str| -> BTreeMap<String, f64> {
+            doc.get(key)
+                .and_then(Json::as_object)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        Ok(LedgerRecord {
+            schema,
+            label: str_field("label")?,
+            git_rev: str_field("git_rev").unwrap_or_else(|_| "unknown".into()),
+            seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            threads: doc.get("threads").and_then(Json::as_u64).unwrap_or(1),
+            wall_seconds: doc
+                .get("wall_seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            fingerprint: str_field("fingerprint").unwrap_or_default(),
+            quality: num_map("quality"),
+            stage_p50_ns: num_map("stage_p50_ns"),
+            stage_p99_ns: num_map("stage_p99_ns"),
+            degradation: doc
+                .get("degradation")
+                .and_then(Json::as_str)
+                .map(String::from),
+        })
+    }
+}
+
+/// Reads every record in a history file's text, in line order.
+pub fn read_history(text: &str) -> Result<Vec<LedgerRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        records
+            .push(LedgerRecord::from_json(&doc).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(records)
+}
+
+/// Appends one record to the ledger at `path`, creating parent
+/// directories and the file as needed.
+pub fn append(path: &Path, record: &LedgerRecord) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", record.to_json_line())
+}
+
+/// Abbreviated git revision of the checkout at `root`, read directly from
+/// `.git` (no subprocess): `"unknown"` when unreadable.
+pub fn git_rev(root: &Path) -> String {
+    let head = match std::fs::read_to_string(root.join(".git/HEAD")) {
+        Ok(head) => head,
+        Err(_) => return "unknown".into(),
+    };
+    let head = head.trim();
+    let full = match head.strip_prefix("ref: ") {
+        Some(reference) => match std::fs::read_to_string(root.join(".git").join(reference)) {
+            Ok(rev) => rev.trim().to_string(),
+            // Packed refs (after gc) keep the hash elsewhere; fall back to
+            // scanning packed-refs for the reference.
+            Err(_) => std::fs::read_to_string(root.join(".git/packed-refs"))
+                .ok()
+                .and_then(|packed| {
+                    packed.lines().find_map(|line| {
+                        line.strip_suffix(reference)
+                            .map(|hash| hash.trim().to_string())
+                    })
+                })
+                .unwrap_or_default(),
+        },
+        None => head.to_string(),
+    };
+    if full.len() >= 12 && full.chars().all(|c| c.is_ascii_hexdigit()) {
+        full[..12].to_string()
+    } else {
+        "unknown".into()
+    }
+}
+
+/// A gate verdict: the exit code plus human-readable findings.
+#[derive(Debug, Clone, Default)]
+pub struct TrendReport {
+    /// 0 = clean, 1 = latency warning, 2 = quality regression.
+    pub exit_code: i32,
+    /// One line per finding (empty = clean).
+    pub findings: Vec<String>,
+    /// Informational lines (history size, medians).
+    pub info: Vec<String>,
+}
+
+impl TrendReport {
+    fn flag_quality(&mut self, finding: String) {
+        self.findings.push(format!("QUALITY DRIFT: {finding}"));
+        self.exit_code = 2;
+    }
+
+    fn flag_latency(&mut self, finding: String) {
+        self.findings.push(format!("latency warning: {finding}"));
+        self.exit_code = self.exit_code.max(1);
+    }
+
+    /// Renders the verdict.
+    pub fn render(&self) -> String {
+        let mut lines = self.info.clone();
+        lines.extend(self.findings.iter().cloned());
+        lines.push(match self.exit_code {
+            0 => "history gate: ok".into(),
+            1 => "history gate: latency warning(s)".into(),
+            _ => "history gate: QUALITY REGRESSION".into(),
+        });
+        lines.join("\n")
+    }
+}
+
+fn median_of(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median and median-absolute-deviation of `values`.
+fn median_mad(values: &[f64]) -> (f64, f64) {
+    let mut v = values.to_vec();
+    let med = median_of(&mut v);
+    let mut dev: Vec<f64> = values.iter().map(|x| (x - med).abs()).collect();
+    (med, median_of(&mut dev))
+}
+
+/// Trends the newest record against the history sharing its label.
+/// Quality keys drift-test against `max(quality_tol·|median|, 4·MAD)`
+/// (fatal); wall time and stage p50s regression-test against
+/// `max(latency_tol·median, 4·MAD)`, slower-only (warn). With fewer than
+/// two matching records the gate passes vacuously.
+pub fn trend(records: &[LedgerRecord], quality_tol: f64, latency_tol: f64) -> TrendReport {
+    let mut report = TrendReport::default();
+    let Some(last) = records.last() else {
+        report.info.push("history is empty".into());
+        return report;
+    };
+    let history: Vec<&LedgerRecord> = records[..records.len() - 1]
+        .iter()
+        .filter(|r| r.label == last.label)
+        .collect();
+    report.info.push(format!(
+        "label {:?}: {} historical record(s) + 1 under test (rev {})",
+        last.label,
+        history.len(),
+        last.git_rev,
+    ));
+    if history.is_empty() {
+        report.info.push("no history to trend against".into());
+        return report;
+    }
+
+    for (key, &value) in &last.quality {
+        let past: Vec<f64> = history
+            .iter()
+            .filter_map(|r| r.quality.get(key))
+            .copied()
+            .collect();
+        if past.is_empty() {
+            continue;
+        }
+        let (med, mad) = median_mad(&past);
+        let threshold = (quality_tol * med.abs()).max(4.0 * mad);
+        if (value - med).abs() > threshold {
+            report.flag_quality(format!(
+                "quality.{key}: {value} vs median {med} (threshold {threshold:.6})"
+            ));
+        }
+    }
+
+    let mut latency_series: Vec<(String, f64, Vec<f64>)> = vec![(
+        "wall_seconds".into(),
+        last.wall_seconds,
+        history.iter().map(|r| r.wall_seconds).collect(),
+    )];
+    for (stage, &p50) in &last.stage_p50_ns {
+        latency_series.push((
+            format!("stage_p50_ns.{stage}"),
+            p50,
+            history
+                .iter()
+                .filter_map(|r| r.stage_p50_ns.get(stage))
+                .copied()
+                .collect(),
+        ));
+    }
+    for (name, value, past) in latency_series {
+        if past.is_empty() || value <= 0.0 {
+            continue;
+        }
+        let (med, mad) = median_mad(&past);
+        let threshold = (latency_tol * med).max(4.0 * mad);
+        if value > med + threshold {
+            report.flag_latency(format!(
+                "{name}: {value} vs median {med} (threshold +{threshold:.6})"
+            ));
+        }
+    }
+    report
+}
+
+/// Compares the last two records sharing the newest record's label:
+/// quality keys by relative difference (fatal past `quality_tol`),
+/// wall time and stage p50s slower-only (warn past `latency_tol`), and
+/// fingerprints exactly (fatal — two runs of one build must agree).
+pub fn compare_last_two(
+    records: &[LedgerRecord],
+    quality_tol: f64,
+    latency_tol: f64,
+) -> TrendReport {
+    let mut report = TrendReport::default();
+    let Some(last) = records.last() else {
+        report.info.push("history is empty".into());
+        return report;
+    };
+    let Some(prev) = records[..records.len() - 1]
+        .iter()
+        .rev()
+        .find(|r| r.label == last.label)
+    else {
+        report.info.push(format!(
+            "only one {:?} record — nothing to compare",
+            last.label
+        ));
+        return report;
+    };
+    report.info.push(format!(
+        "label {:?}: comparing rev {} against rev {}",
+        last.label, last.git_rev, prev.git_rev,
+    ));
+    if !last.fingerprint.is_empty()
+        && !prev.fingerprint.is_empty()
+        && last.fingerprint != prev.fingerprint
+    {
+        report.flag_quality(format!(
+            "fingerprint: {} vs {}",
+            last.fingerprint, prev.fingerprint
+        ));
+    }
+    for (key, &value) in &last.quality {
+        let Some(&before) = prev.quality.get(key) else {
+            continue;
+        };
+        let rel = (value - before).abs() / before.abs().max(value.abs()).max(1e-12);
+        if rel > quality_tol {
+            report.flag_quality(format!(
+                "quality.{key}: {before} → {value} (relative diff {rel:.4} > {quality_tol})"
+            ));
+        }
+    }
+    if prev.wall_seconds > 0.0 && last.wall_seconds > prev.wall_seconds * (1.0 + latency_tol) {
+        report.flag_latency(format!(
+            "wall_seconds: {} → {}",
+            prev.wall_seconds, last.wall_seconds
+        ));
+    }
+    for (stage, &p50) in &last.stage_p50_ns {
+        if let Some(&before) = prev.stage_p50_ns.get(stage) {
+            if before > 0.0 && p50 > before * (1.0 + latency_tol) {
+                report.flag_latency(format!("stage_p50_ns.{stage}: {before} → {p50}"));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, quality: f64, wall: f64) -> LedgerRecord {
+        let mut r = LedgerRecord::new(label);
+        r.seed = 6;
+        r.quality.insert("localization_median_deg".into(), quality);
+        r.wall_seconds = wall;
+        r.stage_p50_ns.insert("fusion".into(), wall * 1e6);
+        r.fingerprint = "0xabc".into();
+        r
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut r = record("baseline", 4.5, 2.0);
+        r.degradation = Some("dropped=1 retried=2".into());
+        let line = r.to_json_line();
+        let parsed = LedgerRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+        // And through the file reader.
+        let all = read_history(&format!("{line}\n{line}\n")).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], r);
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let dir = std::env::temp_dir().join("uniq_ledger_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        std::fs::remove_file(&path).ok();
+        let r = record("baseline", 4.5, 2.0);
+        append(&path, &r).unwrap();
+        append(&path, &r).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_history(&text).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trend_passes_on_stable_history() {
+        let records: Vec<LedgerRecord> = (0..5).map(|_| record("baseline", 4.5, 2.0)).collect();
+        let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
+        assert_eq!(report.exit_code, 0, "{report:?}");
+    }
+
+    #[test]
+    fn trend_flags_quality_drift_past_two_percent() {
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| record("baseline", 4.5, 2.0)).collect();
+        records.push(record("baseline", 4.5 * 1.03, 2.0)); // +3% drift
+        let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
+        assert_eq!(report.exit_code, 2, "{report:?}");
+        assert!(report.render().contains("QUALITY"), "{report:?}");
+
+        // 1% drift stays under the 2% gate.
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| record("baseline", 4.5, 2.0)).collect();
+        records.push(record("baseline", 4.5 * 1.01, 2.0));
+        let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
+        assert_eq!(report.exit_code, 0, "{report:?}");
+    }
+
+    #[test]
+    fn trend_warns_on_latency_regression() {
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| record("baseline", 4.5, 2.0)).collect();
+        records.push(record("baseline", 4.5, 2.0 * 3.0)); // 3× slower
+        let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
+        assert_eq!(report.exit_code, 1, "{report:?}");
+        assert!(report.render().contains("latency"), "{report:?}");
+        // Faster is never flagged.
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| record("baseline", 4.5, 2.0)).collect();
+        records.push(record("baseline", 4.5, 0.5));
+        assert_eq!(
+            trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL).exit_code,
+            0
+        );
+    }
+
+    #[test]
+    fn trend_ignores_other_labels_and_short_history() {
+        let records = vec![record("batch", 9.9, 50.0), record("baseline", 4.5, 2.0)];
+        let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
+        assert_eq!(report.exit_code, 0, "{report:?}");
+    }
+
+    #[test]
+    fn compare_flags_fingerprint_and_quality_changes() {
+        let a = record("baseline", 4.5, 2.0);
+        let mut b = record("baseline", 4.5, 2.0);
+        assert_eq!(
+            compare_last_two(&[a.clone(), b.clone()], 0.02, 0.5).exit_code,
+            0
+        );
+        b.fingerprint = "0xdef".into();
+        assert_eq!(compare_last_two(&[a.clone(), b], 0.02, 0.5).exit_code, 2);
+        let c = record("baseline", 4.5 * 1.10, 2.0);
+        assert_eq!(compare_last_two(&[a, c], 0.02, 0.5).exit_code, 2);
+    }
+
+    #[test]
+    fn baseline_doc_converts_to_record() {
+        let doc = Json::parse(
+            r#"{
+              "schema_version": 1,
+              "meta": {"seed": 6, "thread_counts": [1, 4]},
+              "quality": {
+                "localization_median_deg": 4.5,
+                "personalize_fingerprint": "0x00deadbeef",
+                "personalize_thread_invariant": true
+              },
+              "perf": {
+                "personalize_seconds_t1": 2.5,
+                "personalize_seconds_t4": 1.5,
+                "stages": [{"name": "fusion", "count": 1, "p50_ns": 1000, "p99_ns": 2000}]
+              }
+            }"#,
+        )
+        .unwrap();
+        let rec = LedgerRecord::from_baseline_doc(&doc, "baseline").unwrap();
+        assert_eq!(rec.seed, 6);
+        assert_eq!(rec.threads, 4);
+        assert_eq!(rec.fingerprint, "0x00deadbeef");
+        assert_eq!(rec.quality["localization_median_deg"], 4.5);
+        assert_eq!(rec.stage_p50_ns["fusion"], 1000.0);
+        assert_eq!(rec.stage_p99_ns["fusion"], 2000.0);
+        assert!(rec.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn unknown_schema_is_refused() {
+        let line = r#"{"schema": 99, "label": "x"}"#;
+        assert!(read_history(line).is_err());
+    }
+}

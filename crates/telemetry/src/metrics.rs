@@ -1,0 +1,359 @@
+//! The sharded metric registry: a [`Sink`] that folds the event stream
+//! into counters and histograms with per-worker shards.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Low overhead on the hot path.** Each pool worker owns a shard;
+//!    recording takes that shard's mutex, which is uncontended in steady
+//!    state (only the snapshot ever touches another worker's shard). No
+//!    allocation per event after a name's first sample.
+//! 2. **Registered names only.** Names outside
+//!    [`uniq_obs::names::ALL_METRICS`]/[`ALL_SPANS`] are not aggregated —
+//!    they are counted in [`RegistrySnapshot::dropped`] so a typo is
+//!    visible rather than silently creating a new series.
+//! 3. **Deterministic aggregate.** Counter totals, sample counts, and
+//!    metric min/max are independent of which shard a sample landed in,
+//!    so [`RegistrySnapshot::determinism_key`] is bit-identical across
+//!    thread counts for a deterministic workload. Cross-shard `f64` sums
+//!    are *not* part of the key (addition order varies with sharding).
+//! 4. **Self-accounting.** The registry times its own event handling and
+//!    reports the total as the `obs.telemetry_overhead_ns` metric in
+//!    every snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use uniq_obs::names::{ALL_METRICS, ALL_SPANS, BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS};
+use uniq_obs::report::LogHistogram;
+use uniq_obs::sink::Sink;
+use uniq_obs::{Event, Stopwatch};
+
+/// Shard count: shard 0 collects events from non-pool threads (the
+/// caller's thread, tests), shards `1..` map pool workers by index. More
+/// workers than shards simply share — correctness never depends on the
+/// mapping, only contention does.
+const SHARDS: usize = 17;
+
+/// Metric names whose *values* are wall-clock measurements. Their sample
+/// counts are deterministic but their values are not, so
+/// [`RegistrySnapshot::determinism_key`] covers only their counts.
+const TIMING_METRICS: &[&str] = &[BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS];
+
+/// Streaming aggregate of one metric series: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricAgg {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (shard merge order affects the low bits; see
+    /// the module docs on determinism).
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl MetricAgg {
+    fn new(v: f64) -> Self {
+        MetricAgg {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &MetricAgg) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, LogHistogram>,
+    metrics: BTreeMap<&'static str, MetricAgg>,
+}
+
+/// A [`Sink`] aggregating the event stream into a sharded registry. See
+/// the module docs for the design constraints.
+#[derive(Debug)]
+pub struct TelemetrySink {
+    shards: Vec<Mutex<Shard>>,
+    overhead_ns: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for TelemetrySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetrySink {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TelemetrySink {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            overhead_ns: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// This thread's shard: pool workers get their own (by worker index),
+    /// everything else shares shard 0.
+    fn shard(&self) -> &Mutex<Shard> {
+        let idx = match uniq_par::current_worker() {
+            Some((_, worker)) => 1 + worker % (SHARDS - 1),
+            None => 0,
+        };
+        &self.shards[idx]
+    }
+
+    /// Merges every shard (in index order) into one [`RegistrySnapshot`],
+    /// appending the registry's own accumulated cost as the
+    /// `obs.telemetry_overhead_ns` metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut out = RegistrySnapshot {
+            counters: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            overhead_ns: self.overhead_ns.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("telemetry shard poisoned");
+            for (&name, &delta) in &shard.counters {
+                *out.counters.entry(name.to_string()).or_insert(0) += delta;
+            }
+            for (&name, hist) in &shard.spans {
+                out.spans.entry(name.to_string()).or_default().merge(hist);
+            }
+            for (&name, agg) in &shard.metrics {
+                out.metrics
+                    .entry(name.to_string())
+                    .and_modify(|mine| mine.merge(agg))
+                    .or_insert(*agg);
+            }
+        }
+        out.metrics.insert(
+            OBS_TELEMETRY_OVERHEAD_NS.to_string(),
+            MetricAgg::new(out.overhead_ns as f64),
+        );
+        out
+    }
+}
+
+impl Sink for TelemetrySink {
+    fn on_event(&self, event: &Event) {
+        // Span starts carry no aggregate information; returning before the
+        // stopwatch keeps the hot path at one match arm.
+        if matches!(event, Event::SpanStart { .. }) {
+            return;
+        }
+        let sw = Stopwatch::start();
+        match event {
+            Event::SpanStart { .. } => {}
+            Event::SpanEnd { name, nanos, .. } => {
+                if ALL_SPANS.contains(name) {
+                    let mut shard = self.shard().lock().expect("telemetry shard poisoned");
+                    shard
+                        .spans
+                        .entry(name)
+                        .or_default()
+                        .record(u64::try_from(*nanos).unwrap_or(u64::MAX));
+                } else {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::Counter { name, delta } => {
+                if ALL_METRICS.contains(name) {
+                    let mut shard = self.shard().lock().expect("telemetry shard poisoned");
+                    *shard.counters.entry(name).or_insert(0) += delta;
+                } else {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::Metric { name, value, .. } => {
+                if ALL_METRICS.contains(name) {
+                    let mut shard = self.shard().lock().expect("telemetry shard poisoned");
+                    shard
+                        .metrics
+                        .entry(name)
+                        .and_modify(|agg| agg.record(*value))
+                        .or_insert_with(|| MetricAgg::new(*value));
+                } else {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.overhead_ns
+            .fetch_add((sw.elapsed_seconds() * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    fn flush(&self) {}
+}
+
+/// The merged view of every shard at one instant (see
+/// [`TelemetrySink::snapshot`]). Keys are sorted, so rendering the
+/// snapshot is deterministic.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span duration histograms (nanoseconds) by name.
+    pub spans: BTreeMap<String, LogHistogram>,
+    /// Metric aggregates by name (includes `obs.telemetry_overhead_ns`).
+    pub metrics: BTreeMap<String, MetricAgg>,
+    /// Nanoseconds the registry spent handling events.
+    pub overhead_ns: u64,
+    /// Events discarded because their name was not registered.
+    pub dropped: u64,
+}
+
+impl RegistrySnapshot {
+    /// A canonical string covering every scheduling-independent aggregate:
+    /// counter totals, span sample counts, and metric counts plus min/max
+    /// bits (values are deterministic for a seeded workload; sums are
+    /// excluded because shard merge order varies with the thread count,
+    /// and wall-clock-valued series contribute counts only). Two runs of
+    /// the same workload must produce equal keys at any thread count.
+    pub fn determinism_key(&self) -> String {
+        let mut lines = Vec::new();
+        for (name, total) in &self.counters {
+            lines.push(format!("counter {name} total={total}"));
+        }
+        for (name, hist) in &self.spans {
+            lines.push(format!("span {name} count={}", hist.count()));
+        }
+        for (name, agg) in &self.metrics {
+            if TIMING_METRICS.contains(&name.as_str()) {
+                lines.push(format!("metric {name} count={}", agg.count));
+            } else {
+                lines.push(format!(
+                    "metric {name} count={} min={:016x} max={:016x}",
+                    agg.count,
+                    agg.min.to_bits(),
+                    agg.max.to_bits()
+                ));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniq_obs::names::{FUSION_OBJECTIVE, SESSION_STOPS, SPAN_FUSION};
+
+    #[test]
+    fn aggregates_counters_spans_and_metrics() {
+        let sink = Arc::new(TelemetrySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            {
+                let _s = uniq_obs::span(SPAN_FUSION);
+            }
+            uniq_obs::counter(SESSION_STOPS, 3);
+            uniq_obs::counter(SESSION_STOPS, 2);
+            uniq_obs::metric(FUSION_OBJECTIVE, 4.0, "deg2");
+            uniq_obs::metric(FUSION_OBJECTIVE, 2.0, "deg2");
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters[SESSION_STOPS], 5);
+        assert_eq!(snap.spans[SPAN_FUSION].count(), 1);
+        let agg = snap.metrics[FUSION_OBJECTIVE];
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.min, 2.0);
+        assert_eq!(agg.max, 4.0);
+        assert_eq!(agg.mean(), 3.0);
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn unregistered_names_are_dropped_and_counted() {
+        let sink = Arc::new(TelemetrySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            uniq_obs::counter("made.up_counter", 1);
+            uniq_obs::metric("made.up_metric", 1.0, "");
+            {
+                let _s = uniq_obs::span("made.up_span");
+            }
+        });
+        let snap = sink.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        // Only the self-overhead metric survives.
+        assert_eq!(snap.metrics.len(), 1);
+        assert!(snap.metrics.contains_key(OBS_TELEMETRY_OVERHEAD_NS));
+        assert_eq!(snap.dropped, 3);
+    }
+
+    #[test]
+    fn snapshot_reports_own_overhead() {
+        let sink = Arc::new(TelemetrySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            for _ in 0..100 {
+                uniq_obs::counter(SESSION_STOPS, 1);
+            }
+        });
+        let snap = sink.snapshot();
+        let overhead = snap.metrics[OBS_TELEMETRY_OVERHEAD_NS];
+        assert_eq!(overhead.count, 1);
+        assert!(overhead.max >= 0.0);
+        assert_eq!(overhead.max, snap.overhead_ns as f64);
+    }
+
+    #[test]
+    fn determinism_key_ignores_sharding() {
+        // Record the same samples from a pool worker and from the caller's
+        // thread (different shards); the key must not change.
+        let record_inline = || {
+            let sink = Arc::new(TelemetrySink::new());
+            uniq_obs::with_sink(sink.clone(), || {
+                uniq_obs::counter(SESSION_STOPS, 4);
+                uniq_obs::metric(FUSION_OBJECTIVE, 1.5, "deg2");
+                uniq_obs::metric(FUSION_OBJECTIVE, 2.5, "deg2");
+            });
+            sink.snapshot().determinism_key()
+        };
+        let record_pooled = || {
+            let sink = Arc::new(TelemetrySink::new());
+            uniq_obs::with_sink(sink.clone(), || {
+                let ctx = uniq_obs::capture();
+                let pool = uniq_par::pool(2);
+                let vals = [1.5, 2.5];
+                let _: Vec<()> = pool.par_map_chunked(&vals, 1, |&v| {
+                    ctx.run(|| {
+                        if v == 1.5 {
+                            uniq_obs::counter(SESSION_STOPS, 4);
+                        }
+                        uniq_obs::metric(FUSION_OBJECTIVE, v, "deg2");
+                    })
+                });
+            });
+            sink.snapshot().determinism_key()
+        };
+        assert_eq!(record_inline(), record_pooled());
+    }
+}

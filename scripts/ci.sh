@@ -56,10 +56,41 @@ if target/release/uniq faults personalize --seed 6 --anechoic \
   exit 1
 fi
 
+echo "== trace-report smoke (causal tree reconstruction, 1 and 4 threads) =="
+# A personalize run's JSONL trace must rebuild into a complete causal
+# tree (exit 0 = no orphans) whose report names the critical path,
+# regardless of pool size.
+for threads in 1 4; do
+  UNIQ_THREADS=$threads target/release/uniq personalize --seed 6 \
+    --out "$ci_tmp/trace_hrtf" --anechoic --grid 15 \
+    --metrics-out "$ci_tmp/trace_$threads.jsonl" \
+    --telemetry-out "$ci_tmp/telemetry_$threads.prom" > /dev/null
+  target/release/uniq trace report "$ci_tmp/trace_$threads.jsonl" \
+    > "$ci_tmp/trace_report.log"
+  grep -q "critical path:" "$ci_tmp/trace_report.log"
+  grep -q "uniq_personalize_ns_count" "$ci_tmp/telemetry_$threads.prom"
+done
+
 echo "== baseline determinism (two runs, bit-identical quality) =="
-target/release/baseline run --out "$ci_tmp/fresh_a.json"
-target/release/baseline run --out "$ci_tmp/fresh_b.json"
+target/release/baseline run --out "$ci_tmp/fresh_a.json" --history "$ci_tmp/history.jsonl"
+target/release/baseline run --out "$ci_tmp/fresh_b.json" --history "$ci_tmp/history.jsonl"
 target/release/baseline quality-identical "$ci_tmp/fresh_a.json" "$ci_tmp/fresh_b.json"
+
+echo "== run-ledger gate (two baseline records: compare exact, trend warn-tier) =="
+# Both baseline runs appended a ledger record; back-to-back runs on the
+# same revision must compare clean (exit 0 — fingerprints and quality
+# bit-identical).
+target/release/uniq history compare "$ci_tmp/history.jsonl"
+# The trend gate is warn-tier in CI: a latency warning (exit 1) is
+# machine noise and tolerated; a quality regression (exit 2) is fatal.
+trend_rc=0
+target/release/uniq history trend "$ci_tmp/history.jsonl" || trend_rc=$?
+if [ "$trend_rc" -ge 2 ]; then
+  echo "history trend gate: quality regression (exit $trend_rc)" >&2
+  exit 1
+elif [ "$trend_rc" -eq 1 ]; then
+  echo "history trend gate: latency warning tolerated (exit 1)"
+fi
 
 echo "== baseline compare vs BENCH_BASELINE.json (UNIQ_THREADS=1) =="
 UNIQ_THREADS=1 target/release/baseline compare \

@@ -139,11 +139,13 @@ fn instrumentation_never_changes_the_output() {
 
 #[test]
 fn every_emitted_name_is_registered() {
-    // Exercise the full instrumented surface — the pipeline, the batch
-    // runner and both AoA estimators — and check that every span, metric
-    // and counter name it emits is declared in `uniq_obs::names`. A name
-    // minted inline at an instrumentation site would dodge the profiler's
-    // stage registry and the baseline gate.
+    // Exercise the full instrumented surface — the pipeline (clean and
+    // faulted), the batch runner, both AoA estimators, and the render
+    // layer — and check that every span, metric and counter name it
+    // emits is declared in `uniq_obs::names`. A name minted inline at an
+    // instrumentation site would dodge the profiler's stage registry,
+    // the telemetry registry (which silently drops unknown names), and
+    // the baseline gate.
     let cfg = obs_cfg();
     let memory = Arc::new(MemorySink::new());
     uniq_obs::with_sink(memory.clone(), || {
@@ -155,6 +157,19 @@ fn every_emitted_name_is_registered() {
             ..cfg.clone()
         };
         uniq_core::batch::personalize_batch(&[73, 74], &batch_cfg, 2, 1);
+        // An impossible residual bound rejects every gesture, exercising
+        // the rejection, retry, and batch-failure counters.
+        let failing_cfg = UniqConfig {
+            max_fusion_residual_deg: 0.001,
+            ..batch_cfg.clone()
+        };
+        uniq_core::batch::personalize_batch(&[75], &failing_cfg, 1, 2);
+
+        // Faulted run: the degradation path has its own counters.
+        let plan = uniq_faults::FaultPlan::parse("drop@2,snr:-9@4", 9).expect("plan parses");
+        let policy = uniq_core::degrade::DegradationPolicy::default();
+        uniq_core::pipeline::personalize_faulted(&subject, &cfg, 46, &plan, &policy)
+            .expect("faulted run succeeds");
 
         let table = &result.hrtf;
         let sig = uniq_acoustics::signals::generate(
@@ -170,20 +185,62 @@ fn every_emitted_name_is_registered() {
         };
         uniq_core::aoa::estimate_known_source(&rec, &sig, table.far(), &cfg);
         uniq_core::aoa::estimate_unknown_source(&rec, table.far(), &cfg);
+
+        // Render layer: snapshot mix, motion timeline, comparison metrics.
+        let sample_rate = table.sample_rate();
+        let engine = uniq_render::BinauralEngine::new(result.hrtf);
+        let mut scene = uniq_render::Scene::new();
+        scene.add("voice", uniq_geometry::Vec2::new(-2.0, 1.0), 1.0);
+        let pose = uniq_render::ListenerPose::default();
+        let out = engine.render_scene(&scene, &pose, &sig);
+        let poses = uniq_render::motion::turning_head(0.0, 40.0, 4);
+        uniq_render::motion::render_with_motion(&engine, &scene, &poses, &sig, 256, 64);
+        uniq_render::metrics::compare(&out, &out, sample_rate);
     });
 
     let events = memory.events();
     assert!(!events.is_empty(), "no events recorded");
+    let mut emitted_spans = std::collections::BTreeSet::new();
+    let mut emitted_metrics = std::collections::BTreeSet::new();
     for event in &events {
         match event {
-            Event::SpanStart { name, .. } | Event::SpanEnd { name, .. } => assert!(
-                uniq_obs::names::ALL_SPANS.contains(name),
-                "span {name:?} is not in uniq_obs::names::ALL_SPANS"
-            ),
-            Event::Metric { name, .. } | Event::Counter { name, .. } => assert!(
-                uniq_obs::names::ALL_METRICS.contains(name),
-                "metric/counter {name:?} is not in uniq_obs::names::ALL_METRICS"
-            ),
+            Event::SpanStart { name, .. } | Event::SpanEnd { name, .. } => {
+                emitted_spans.insert(*name);
+                assert!(
+                    uniq_obs::names::ALL_SPANS.contains(name),
+                    "span {name:?} is not in uniq_obs::names::ALL_SPANS"
+                );
+            }
+            Event::Metric { name, .. } | Event::Counter { name, .. } => {
+                emitted_metrics.insert(*name);
+                assert!(
+                    uniq_obs::names::ALL_METRICS.contains(name),
+                    "metric/counter {name:?} is not in uniq_obs::names::ALL_METRICS"
+                );
+            }
         }
+    }
+
+    // Reverse audit: every *registered* name is either exercised by the
+    // workload above or on the explicit allow-list of names emitted only
+    // by machinery this in-process workload cannot reach. A registered
+    // name nobody emits is dead weight that silently rots.
+    const EMITTED_ELSEWHERE: &[&str] = &[
+        // Aggregated by TelemetrySink at snapshot time, not via a sink event.
+        uniq_obs::names::OBS_TELEMETRY_OVERHEAD_NS,
+    ];
+    for name in uniq_obs::names::ALL_SPANS {
+        assert!(
+            emitted_spans.contains(name) || EMITTED_ELSEWHERE.contains(name),
+            "registered span {name:?} was never emitted by the audit workload; \
+             exercise it here or add it to EMITTED_ELSEWHERE with a reason"
+        );
+    }
+    for name in uniq_obs::names::ALL_METRICS {
+        assert!(
+            emitted_metrics.contains(name) || EMITTED_ELSEWHERE.contains(name),
+            "registered metric {name:?} was never emitted by the audit workload; \
+             exercise it here or add it to EMITTED_ELSEWHERE with a reason"
+        );
     }
 }

@@ -132,6 +132,47 @@ fn observability_aggregates_identical_across_thread_counts() {
     }
 }
 
+/// The causal ids are part of the determinism contract: every span's
+/// `(trace_id, span_id, parent_id)` triple is a pure function of its
+/// position in the call tree, so a run at 8 threads must assign the
+/// exact same ids as a run at 1 thread (acceptance criterion of the
+/// telemetry layer — `uniq trace report` output must not depend on
+/// `UNIQ_THREADS`).
+#[test]
+fn span_ids_bit_identical_across_thread_counts() {
+    let subject = Subject::from_seed(73);
+    let record = |threads: usize| {
+        let sink = Arc::new(MemorySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            personalize(&subject, &cfg_with(threads), 45).expect("pipeline succeeds")
+        });
+        let mut ids: Vec<(&'static str, u64, u64, u64)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { name, ids, .. } => {
+                    Some((*name, ids.trace, ids.span, ids.parent))
+                }
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    let ids1 = record(1);
+    let ids8 = record(8);
+    assert!(!ids1.is_empty(), "no spans recorded");
+    assert_eq!(ids1, ids8, "span id triples diverged between thread counts");
+    // Non-root spans must link to a parent that exists in the same run.
+    let spans: std::collections::BTreeSet<u64> = ids1.iter().map(|t| t.2).collect();
+    for (name, _, _, parent) in &ids1 {
+        assert!(
+            *parent == 0 || spans.contains(parent),
+            "span {name} has a dangling parent id"
+        );
+    }
+}
+
 #[test]
 fn faulted_pipeline_bit_identical_across_thread_counts() {
     use uniq_core::degrade::DegradationPolicy;

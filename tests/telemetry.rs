@@ -1,0 +1,220 @@
+//! Integration tests for the uniq-telemetry layer: sharded metric
+//! aggregation is thread-count-invariant, the self-overhead stays
+//! bounded, causal traces round-trip through the JSONL sink into a
+//! complete tree, and the run ledger's trend gate catches injected
+//! regressions.
+
+use std::sync::Arc;
+
+use uniq_core::batch::personalize_batch;
+use uniq_core::config::UniqConfig;
+use uniq_core::pipeline::personalize;
+use uniq_obs::names::OBS_TELEMETRY_OVERHEAD_NS;
+use uniq_subjects::Subject;
+use uniq_telemetry::ledger::{self, LedgerRecord};
+use uniq_telemetry::trace::parse_trace;
+use uniq_telemetry::TelemetrySink;
+
+fn cfg_with(threads: usize) -> UniqConfig {
+    UniqConfig {
+        in_room: false,
+        snr_db: 45.0,
+        grid_step_deg: 15.0,
+        threads,
+        ..UniqConfig::fast_test()
+    }
+}
+
+#[test]
+fn registry_deterministic_across_thread_counts() {
+    // The sharded sink assigns events to per-worker shards, so shard
+    // contents differ between thread counts — but the aggregated
+    // registry's determinism key (counter totals, span counts, metric
+    // counts and extremes) must not.
+    let record = |threads: usize| {
+        let sink = Arc::new(TelemetrySink::new());
+        uniq_obs::with_sink(sink.clone(), || {
+            personalize_batch(&[70u64, 71, 72, 73], &cfg_with(threads), threads, 2);
+        });
+        sink.snapshot()
+    };
+    let snap1 = record(1);
+    let snap8 = record(8);
+    assert_eq!(
+        snap1.determinism_key(),
+        snap8.determinism_key(),
+        "aggregated registry diverged between 1 and 8 threads"
+    );
+    assert_eq!(snap1.dropped, 0, "registered-only workload dropped events");
+}
+
+#[test]
+fn overhead_metric_emitted_and_bounded() {
+    let subject = Subject::from_seed(6);
+    let sink = Arc::new(TelemetrySink::new());
+    uniq_obs::with_sink(sink.clone(), || {
+        personalize(&subject, &cfg_with(1), 6).expect("pipeline succeeds")
+    });
+    let snapshot = sink.snapshot();
+
+    let overhead = snapshot
+        .metrics
+        .get(OBS_TELEMETRY_OVERHEAD_NS)
+        .expect("overhead metric present in the snapshot");
+    assert_eq!(overhead.count, 1);
+    assert_eq!(snapshot.overhead_ns as f64, overhead.sum);
+
+    // The acceptance bound: recording overhead under 5% of the seed-6
+    // personalize wall time (the root span's recorded duration).
+    let personalize_ns = snapshot
+        .spans
+        .get("personalize")
+        .expect("personalize span recorded")
+        .sum();
+    assert!(personalize_ns > 0);
+    assert!(
+        u128::from(snapshot.overhead_ns) < personalize_ns / 20,
+        "telemetry overhead {} ns exceeds 5% of personalize {} ns",
+        snapshot.overhead_ns,
+        personalize_ns
+    );
+}
+
+#[test]
+fn trace_round_trips_through_jsonl_sink() {
+    let path =
+        std::env::temp_dir().join(format!("uniq_telemetry_trace_{}.jsonl", std::process::id()));
+    {
+        let sink =
+            Arc::new(uniq_obs::sink::JsonLinesSink::create(&path).expect("create trace file"));
+        uniq_obs::with_sink(sink, || {
+            let subject = Subject::from_seed(6);
+            personalize(&subject, &cfg_with(4), 6).expect("pipeline succeeds")
+        });
+    } // buffered sink flushes on drop
+
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let tree = parse_trace(&text).expect("trace parses");
+    std::fs::remove_file(&path).ok();
+
+    // Complete reconstruction: every span links into the tree.
+    assert!(
+        tree.orphans.is_empty(),
+        "orphaned spans: {:?}",
+        tree.orphans
+    );
+    assert_eq!(tree.trace_ids.len(), 1, "one run, one trace id");
+    let root_names: Vec<&str> = tree
+        .roots
+        .iter()
+        .map(|&i| tree.nodes[i].name.as_str())
+        .collect();
+    assert_eq!(root_names, ["personalize"]);
+
+    // The critical path starts at the root and descends.
+    let path_names: Vec<String> = tree
+        .critical_path()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    assert_eq!(path_names.first().map(String::as_str), Some("personalize"));
+    assert!(path_names.len() >= 2, "critical path has no children");
+
+    // Every pipeline stage shows up in the self-time table and report.
+    let self_times = tree.self_times();
+    let report = tree.render_report();
+    for stage in uniq_obs::names::PIPELINE_STAGES {
+        assert!(self_times.contains_key(*stage), "stage {stage} missing");
+        assert!(report.contains(stage), "report lacks stage {stage}");
+    }
+    assert!(report.contains("critical path:"), "{report}");
+    assert!(!report.contains("orphaned"), "{report}");
+}
+
+/// Builds a plausible baseline ledger record with the given quality
+/// value and per-stage latency scale.
+fn synthetic_record(quality: f64, latency_scale: f64) -> LedgerRecord {
+    let mut r = LedgerRecord::new("baseline");
+    r.seed = 6;
+    r.threads = 4;
+    r.wall_seconds = 2.0 * latency_scale;
+    r.fingerprint = "0x00000000deadbeef".to_string();
+    r.quality
+        .insert("localization_median_deg".to_string(), quality);
+    r.stage_p50_ns
+        .insert("fusion".to_string(), 1_000_000.0 * latency_scale);
+    r.stage_p99_ns
+        .insert("fusion".to_string(), 2_000_000.0 * latency_scale);
+    r
+}
+
+#[test]
+fn ledger_trend_flags_injected_quality_drift() {
+    // Four stable runs, then one with >2% quality drift: exit 2.
+    let mut records: Vec<LedgerRecord> = (0..4).map(|_| synthetic_record(8.0, 1.0)).collect();
+    records.push(synthetic_record(8.0 * 1.05, 1.0));
+    let report = ledger::trend(
+        &records,
+        ledger::DEFAULT_QUALITY_TOL,
+        ledger::DEFAULT_LATENCY_TOL,
+    );
+    assert_eq!(report.exit_code, 2, "{:?}", report.findings);
+
+    // Within-tolerance drift passes.
+    let mut stable: Vec<LedgerRecord> = (0..4).map(|_| synthetic_record(8.0, 1.0)).collect();
+    stable.push(synthetic_record(8.0 * 1.01, 1.0));
+    let report = ledger::trend(
+        &stable,
+        ledger::DEFAULT_QUALITY_TOL,
+        ledger::DEFAULT_LATENCY_TOL,
+    );
+    assert_eq!(report.exit_code, 0, "{:?}", report.findings);
+}
+
+#[test]
+fn ledger_trend_flags_injected_latency_regression() {
+    let mut records: Vec<LedgerRecord> = (0..4).map(|_| synthetic_record(8.0, 1.0)).collect();
+    records.push(synthetic_record(8.0, 3.0));
+    let report = ledger::trend(
+        &records,
+        ledger::DEFAULT_QUALITY_TOL,
+        ledger::DEFAULT_LATENCY_TOL,
+    );
+    assert_eq!(report.exit_code, 1, "{:?}", report.findings);
+}
+
+#[test]
+fn ledger_compare_accepts_identical_runs() {
+    let records = vec![synthetic_record(8.0, 1.0), synthetic_record(8.0, 1.0)];
+    let report = ledger::compare_last_two(
+        &records,
+        ledger::DEFAULT_QUALITY_TOL,
+        ledger::DEFAULT_LATENCY_TOL,
+    );
+    assert_eq!(report.exit_code, 0, "{:?}", report.findings);
+
+    // A changed fingerprint is a determinism break: exit 2.
+    let mut changed = synthetic_record(8.0, 1.0);
+    changed.fingerprint = "0x0000000000000bad".to_string();
+    let records = vec![synthetic_record(8.0, 1.0), changed];
+    let report = ledger::compare_last_two(
+        &records,
+        ledger::DEFAULT_QUALITY_TOL,
+        ledger::DEFAULT_LATENCY_TOL,
+    );
+    assert_eq!(report.exit_code, 2, "{:?}", report.findings);
+}
+
+#[test]
+fn prometheus_exposition_covers_the_pipeline() {
+    let sink = Arc::new(TelemetrySink::new());
+    uniq_obs::with_sink(sink.clone(), || {
+        let subject = Subject::from_seed(6);
+        personalize(&subject, &cfg_with(1), 6).expect("pipeline succeeds")
+    });
+    let text = uniq_telemetry::expose::prometheus(&sink.snapshot());
+    assert!(text.contains("uniq_personalize_ns_count 1"), "{text}");
+    assert!(text.contains("uniq_fusion_ns"), "{text}");
+    assert!(text.contains("uniq_obs_telemetry_overhead_ns"), "{text}");
+    assert!(text.contains("uniq_telemetry_dropped_events 0"), "{text}");
+}
