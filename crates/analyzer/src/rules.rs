@@ -41,6 +41,7 @@ pub const RESULT_CRATES: &[&str] = &[
     "render",
     "subjects",
     "faults",
+    "store",
 ];
 
 /// The only crate allowed to contain `unsafe` code.

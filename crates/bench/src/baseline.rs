@@ -107,6 +107,26 @@ impl BaselineSpec {
     }
 }
 
+/// Personalizes the spec's pinned subject (single-threaded, the
+/// fingerprinted configuration) and persists the result into the
+/// content-addressed store at `dir` — so the checked-in baseline's HRTF
+/// exists as an on-disk `.uhrtf` artifact, and re-running on the same
+/// code is a pure dedup hit.
+pub fn persist_to_store(
+    spec: &BaselineSpec,
+    dir: &std::path::Path,
+) -> Result<(uniq_store::PutOutcome, u64), String> {
+    let cfg = spec.config(1);
+    let subject = Subject::from_seed(spec.seed);
+    let result = personalize_with_retry(&subject, &cfg, spec.seed, 3)
+        .map_err(|e| format!("personalization failed: {e}"))?;
+    let artifact =
+        uniq_store::HrtfArtifact::from_result(spec.seed, &result, cfg.content_hash(), None);
+    let store = uniq_store::Store::open(dir).map_err(|e| e.to_string())?;
+    let outcome = store.put(&artifact).map_err(|e| e.to_string())?;
+    Ok((outcome, artifact.subject_fingerprint))
+}
+
 /// Wraps a single personalization result so
 /// [`uniq_core::batch::hrtf_fingerprint`] can digest it: every HRIR bit,
 /// localization estimate, and the radius fold into one number.

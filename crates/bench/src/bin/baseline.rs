@@ -15,8 +15,8 @@
 //! 1 regression, 2 usage error.
 
 use uniq_bench::baseline::{
-    compare, quality_identical, run_baseline, verify_profile, BaselineSpec, BASELINE_FILE,
-    DEFAULT_PERF_TOL, DEFAULT_QUALITY_TOL,
+    compare, persist_to_store, quality_identical, run_baseline, verify_profile, BaselineSpec,
+    BASELINE_FILE, DEFAULT_PERF_TOL, DEFAULT_QUALITY_TOL,
 };
 use uniq_profile::json::Json;
 use uniq_telemetry::ledger::{self, LedgerRecord};
@@ -38,8 +38,35 @@ fn usage() -> String {
      ledger (run / bless / compare-with-fresh-run):\n\
      \x20 --history PATH                 append a run record to PATH instead of the\n\
      \x20                                default bench_results/history.jsonl\n\
-     \x20 --no-history                   skip the ledger append\n"
+     \x20 --no-history                   skip the ledger append\n\
+     \n\
+     persistence (run / bless):\n\
+     \x20 --store DIR                    also personalize the pinned seed single-threaded\n\
+     \x20                                and persist the HRTF artifact into the\n\
+     \x20                                content-addressed store at DIR\n"
         .to_string()
+}
+
+/// Handles `--store DIR` on `run` / `bless`: personalizes the pinned
+/// subject and puts the artifact into the store, printing the content
+/// key. Re-running unchanged code is a dedup hit, not a new blob.
+fn persist_if_requested(opts: &Opts) {
+    let Some(dir) = opts.get("store") else {
+        return;
+    };
+    match persist_to_store(&BaselineSpec::pinned(), std::path::Path::new(dir)) {
+        Ok((outcome, fingerprint)) => println!(
+            "stored baseline HRTF: key {} ({} bytes, {}), fingerprint {:#018x}",
+            outcome.key,
+            outcome.bytes,
+            if outcome.deduped { "deduped" } else { "new" },
+            fingerprint,
+        ),
+        Err(e) => {
+            eprintln!("error: cannot persist baseline HRTF to {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Appends the run's ledger record to the cross-run history file
@@ -147,6 +174,7 @@ fn main() {
                 &Json::parse(&doc).expect("self-emitted baseline JSON"),
                 &opts,
             );
+            persist_if_requested(&opts);
         }
         "bless" => {
             let opts = Opts::parse(&args[1..], &["no-history"]);
@@ -161,6 +189,7 @@ fn main() {
                 &Json::parse(&doc).expect("self-emitted baseline JSON"),
                 &opts,
             );
+            persist_if_requested(&opts);
         }
         "compare" => {
             let opts = Opts::parse(&args[1..], &["strict", "no-history"]);

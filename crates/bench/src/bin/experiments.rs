@@ -66,6 +66,9 @@ fn main() {
             "batch" => {
                 timings.time("batch", batch_scaling::run);
             }
+            "store" => {
+                timings.time("store", store_scaling::run);
+            }
             "robustness" => {
                 timings.time("robustness", || {
                     robustness::run();

@@ -216,6 +216,273 @@ pub fn history_cmd(args: &[String]) -> i32 {
     report.exit_code
 }
 
+/// `uniq store <verb> …`: the content-addressed HRTF artifact store.
+///
+/// Verbs: `put` (personalize a subject and persist the `.uhrtf`
+/// artifact), `get` (load by content key), `ls` (index listing),
+/// `verify` (deep integrity sweep), `export` (artifact → `.uniqhrtf`
+/// text table), `import` (text table → artifact). Exit 0 = ok,
+/// 1 = failure or verification finding, 2 = usage error.
+pub fn store_cmd(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: uniq store <verb> [options]\n\
+         \x20 put    --store DIR --seed N [--anechoic] [--grid DEG] [--snr DB] [--history PATH]\n\
+         \x20 get    --store DIR --key KEY [--out FILE.uhrtf] [--table FILE.uniqhrtf]\n\
+         \x20 ls     --store DIR\n\
+         \x20 verify --store DIR\n\
+         \x20 export --store DIR --key KEY --out FILE.uniqhrtf\n\
+         \x20 import --store DIR --table FILE.uniqhrtf [--seed N]";
+    let parsed = match Args::parse(args, &["anechoic"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "put" => store_put(&parsed),
+        "get" => store_get(&parsed),
+        "ls" => store_ls(&parsed),
+        "verify" => store_verify(&parsed),
+        "export" => store_export(&parsed),
+        "import" => store_import(&parsed),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            return 0;
+        }
+        other => {
+            eprintln!("error: unknown store verb {other:?}\n{USAGE}");
+            return 2;
+        }
+    };
+    uniq_obs::flush_global_sink();
+    match result {
+        Ok((report, code)) => {
+            println!("{report}");
+            code
+        }
+        Err(StoreCmdError::Usage(e)) => {
+            eprintln!("error: {e}\n{USAGE}");
+            2
+        }
+        Err(StoreCmdError::Run(e)) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// A store verb's failure, split by exit-code tier: bad invocation (2)
+/// vs a runtime/integrity failure (1).
+enum StoreCmdError {
+    Usage(String),
+    Run(String),
+}
+
+fn open_store(args: &Args) -> Result<uniq_store::Store, StoreCmdError> {
+    let dir = args
+        .require("store")
+        .map_err(|e| StoreCmdError::Usage(e.to_string()))?;
+    uniq_store::Store::open(Path::new(dir)).map_err(|e| StoreCmdError::Run(e.to_string()))
+}
+
+fn store_put(args: &Args) -> Result<(String, i32), StoreCmdError> {
+    let store = open_store(args)?;
+    let usage = |e: crate::args::ArgError| StoreCmdError::Usage(e.to_string());
+    let seed = args.get_u64("seed", 42).map_err(usage)?;
+    let grid = args.get_f64("grid", 5.0).map_err(usage)?;
+    let snr = args.get_f64("snr", 35.0).map_err(usage)?;
+    let cfg = UniqConfig {
+        in_room: !args.switch("anechoic"),
+        grid_step_deg: grid,
+        snr_db: snr,
+        ..UniqConfig::default()
+    };
+    let subject = Subject::from_seed(seed);
+    let sw = uniq_obs::Stopwatch::start();
+    let result = personalize_with_retry(&subject, &cfg, seed, 3)
+        .map_err(|e| StoreCmdError::Run(format!("personalization failed: {e}")))?;
+    let wall_seconds = sw.elapsed_seconds();
+    let artifact = uniq_store::HrtfArtifact::from_result(seed, &result, cfg.content_hash(), None);
+    let outcome = store
+        .put(&artifact)
+        .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+    let mut lines = vec![
+        format!("key {}", outcome.key),
+        format!(
+            "subject {seed}: fingerprint {:#018x}, config hash {:#018x}, {} bytes{}",
+            artifact.subject_fingerprint,
+            artifact.config_hash,
+            outcome.bytes,
+            if outcome.deduped {
+                " (deduplicated — content already stored)"
+            } else {
+                ""
+            },
+        ),
+        format!(
+            "store {}: {} artifact(s)",
+            store.root().display(),
+            store.len()
+        ),
+    ];
+    let mut record = LedgerRecord::new("store-put");
+    record.seed = seed;
+    record.wall_seconds = wall_seconds;
+    record.fingerprint = format!("{:#018x}", artifact.subject_fingerprint);
+    record.store = Some(format!(
+        "key {}, {} bytes, {}",
+        outcome.key,
+        outcome.bytes,
+        if outcome.deduped { "deduped" } else { "new" }
+    ));
+    lines.extend(append_history(args, &record).map_err(StoreCmdError::Run)?);
+    Ok((lines.join("\n"), 0))
+}
+
+fn store_get(args: &Args) -> Result<(String, i32), StoreCmdError> {
+    let store = open_store(args)?;
+    let key = args
+        .require("key")
+        .map_err(|e| StoreCmdError::Usage(e.to_string()))?;
+    let artifact = store
+        .get(key)
+        .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+    let recomputed = artifact.fingerprint();
+    let mut lines = vec![format!(
+        "key {key}\n\
+         seed {}, config hash {:#018x}, sample rate {} Hz\n\
+         near grid: {} angles × {} taps; far grid: {} angles × {} taps\n\
+         stamped fingerprint {:#018x}, recomputed {:#018x} ({})",
+        artifact.seed,
+        artifact.config_hash,
+        artifact.sample_rate,
+        artifact.near.len(),
+        artifact.near.ir_len,
+        artifact.far.len(),
+        artifact.far.ir_len,
+        artifact.subject_fingerprint,
+        recomputed,
+        if recomputed == artifact.subject_fingerprint {
+            "match"
+        } else {
+            "MISMATCH"
+        },
+    )];
+    if let Some(deg) = &artifact.degradation_json {
+        lines.push(format!("degradation report: {deg}"));
+    }
+    if let Some(out) = args.get("out") {
+        let bytes = store
+            .get_bytes(key)
+            .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+        std::fs::write(Path::new(out), bytes)
+            .map_err(|e| StoreCmdError::Run(format!("cannot write {out}: {e}")))?;
+        lines.push(format!("raw artifact written to {out}"));
+    }
+    if let Some(path) = args.get("table") {
+        let table = artifact
+            .to_table()
+            .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+        uniq_core::io::save(&table, Path::new(path))
+            .map_err(|e| StoreCmdError::Run(format!("cannot write {path}: {e}")))?;
+        lines.push(format!("table written to {path}"));
+    }
+    let code = i32::from(recomputed != artifact.subject_fingerprint);
+    Ok((lines.join("\n"), code))
+}
+
+fn store_ls(args: &Args) -> Result<(String, i32), StoreCmdError> {
+    let store = open_store(args)?;
+    let entries = store.scan();
+    let mut lines = vec![format!(
+        "store {}: {} artifact(s), fingerprint {:#018x}",
+        store.root().display(),
+        entries.len(),
+        store.fingerprint(),
+    )];
+    for e in &entries {
+        lines.push(format!(
+            "  {}  seed {:>6}  subject {:016x}  config {:016x}  {:>8} bytes",
+            e.key, e.seed, e.subject_fingerprint, e.config_hash, e.bytes,
+        ));
+    }
+    Ok((lines.join("\n"), 0))
+}
+
+fn store_verify(args: &Args) -> Result<(String, i32), StoreCmdError> {
+    let store = open_store(args)?;
+    let report = store.verify();
+    let mut lines = vec![format!(
+        "verified {} artifact(s) in {}",
+        report.entries,
+        store.root().display(),
+    )];
+    for (key, err) in &report.failures {
+        lines.push(format!("  CORRUPT {key}: {err}"));
+    }
+    if report.is_clean() {
+        lines.push("store verify: ok".into());
+        Ok((lines.join("\n"), 0))
+    } else {
+        lines.push(format!(
+            "store verify: {} finding(s)",
+            report.failures.len()
+        ));
+        Ok((lines.join("\n"), 1))
+    }
+}
+
+fn store_export(args: &Args) -> Result<(String, i32), StoreCmdError> {
+    let store = open_store(args)?;
+    let usage = |e: crate::args::ArgError| StoreCmdError::Usage(e.to_string());
+    let key = args.require("key").map_err(usage)?;
+    let out = args.require("out").map_err(usage)?;
+    let artifact = store
+        .get(key)
+        .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+    let table = artifact
+        .to_table()
+        .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+    uniq_core::io::save(&table, Path::new(out))
+        .map_err(|e| StoreCmdError::Run(format!("cannot write {out}: {e}")))?;
+    Ok((
+        format!(
+            "exported {key} → {out} ({} near + {} far angles)",
+            table.near().len(),
+            table.far().len(),
+        ),
+        0,
+    ))
+}
+
+fn store_import(args: &Args) -> Result<(String, i32), StoreCmdError> {
+    let store = open_store(args)?;
+    let usage = |e: crate::args::ArgError| StoreCmdError::Usage(e.to_string());
+    let path = args.require("table").map_err(usage)?;
+    let seed = args.get_u64("seed", 0).map_err(usage)?;
+    let table = uniq_core::io::load(Path::new(path))
+        .map_err(|e| StoreCmdError::Run(format!("cannot load {path}: {e}")))?;
+    // A text table carries no run metadata, so the artifact's provenance
+    // (radius, attempts, localization, config hash) is zeroed.
+    let artifact = uniq_store::HrtfArtifact::from_table(seed, &table, 0);
+    let outcome = store
+        .put(&artifact)
+        .map_err(|e| StoreCmdError::Run(e.to_string()))?;
+    Ok((
+        format!(
+            "imported {path} → key {} ({} bytes{})",
+            outcome.key,
+            outcome.bytes,
+            if outcome.deduped {
+                ", deduplicated"
+            } else {
+                ""
+            },
+        ),
+        0,
+    ))
+}
+
 /// Appends a ledger record for a finished run when `--history PATH` was
 /// given (pass `--history default` for `bench_results/history.jsonl`).
 fn append_history(args: &Args, record: &LedgerRecord) -> Result<Option<String>, String> {
@@ -392,6 +659,18 @@ pub fn usage() -> String {
      \x20     spatialize a test signal through the table, write stereo WAV\n\
      \x20 aoa --table FILE --theta DEG --signal noise|music|speech [--seed N]\n\
      \x20     simulate an unknown ambient source and estimate its direction\n\
+     \n\
+     persistence:\n\
+     \x20 store put --store DIR --seed N [--anechoic] [--grid DEG] [--snr DB]\n\
+     \x20     personalize subject N and persist the result as a checksummed\n\
+     \x20     .uhrtf artifact, content-addressed and deduplicated\n\
+     \x20 store get --store DIR --key KEY [--out F.uhrtf] [--table F.uniqhrtf]\n\
+     \x20     load an artifact by content key; print provenance + fingerprint\n\
+     \x20 store ls --store DIR          list the index (+ store fingerprint)\n\
+     \x20 store verify --store DIR      deep integrity sweep (exit 1 on findings)\n\
+     \x20 store export --store DIR --key KEY --out F.uniqhrtf\n\
+     \x20 store import --store DIR --table F.uniqhrtf [--seed N]\n\
+     \x20     round-trip artifacts through the .uniqhrtf text format\n\
      \n\
      observability (any command):\n\
      \x20 --trace              live span tree on stderr + end-of-run stage summary\n\
@@ -1021,6 +1300,122 @@ mod tests {
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&prom).ok();
         std::fs::remove_file(&json).ok();
+    }
+
+    fn store_argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn store_usage_errors_exit_2() {
+        assert_eq!(store_cmd(&[]), 2);
+        assert_eq!(store_cmd(&store_argv("frobnicate")), 2);
+        assert_eq!(store_cmd(&store_argv("put")), 2); // --store missing
+        assert_eq!(store_cmd(&store_argv("get --store /tmp/x")), 2); // --key missing
+        assert_eq!(store_cmd(&store_argv("help")), 0);
+    }
+
+    #[test]
+    fn store_workflow_end_to_end() {
+        let root = temp_path("store_wf");
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = root.display();
+
+        // put, then an identical put that must deduplicate.
+        let put = format!("put --store {dir} --seed 6 --anechoic --grid 15 --snr 45");
+        assert_eq!(store_cmd(&store_argv(&put)), 0);
+        assert_eq!(store_cmd(&store_argv(&put)), 0);
+        let store = uniq_store::Store::open(&root).unwrap();
+        assert_eq!(store.len(), 1, "identical puts must share one blob");
+        let key = store.scan()[0].key.clone();
+
+        // The stored artifact reproduces the in-memory result bit-exactly.
+        let cfg = UniqConfig {
+            in_room: false,
+            grid_step_deg: 15.0,
+            snr_db: 45.0,
+            ..UniqConfig::default()
+        };
+        let result = personalize_with_retry(&Subject::from_seed(6), &cfg, 6, 3).unwrap();
+        let artifact = store.get(&key).unwrap();
+        assert_eq!(artifact.fingerprint(), single_fingerprint(6, &result));
+        drop(store);
+
+        // get / ls / verify all succeed on the clean store.
+        assert_eq!(
+            store_cmd(&store_argv(&format!("get --store {dir} --key {key}"))),
+            0
+        );
+        assert_eq!(store_cmd(&store_argv(&format!("ls --store {dir}"))), 0);
+        assert_eq!(store_cmd(&store_argv(&format!("verify --store {dir}"))), 0);
+
+        // Unknown key is a runtime failure (1), not usage (2).
+        assert_eq!(
+            store_cmd(&store_argv(&format!(
+                "get --store {dir} --key 0123456789abcdef"
+            ))),
+            1
+        );
+
+        // export → text table → import round trip (imported provenance is
+        // zeroed, so it lands under a second key).
+        let table = temp_path("store_wf_export.uniqhrtf");
+        assert_eq!(
+            store_cmd(&store_argv(&format!(
+                "export --store {dir} --key {key} --out {}",
+                table.display()
+            ))),
+            0
+        );
+        let exported = uniq_core::io::load(&table).unwrap();
+        assert_eq!(exported.near().len(), result.hrtf.near().len());
+        assert_eq!(
+            store_cmd(&store_argv(&format!(
+                "import --store {dir} --table {} --seed 6",
+                table.display()
+            ))),
+            0
+        );
+        let store = uniq_store::Store::open(&root).unwrap();
+        assert_eq!(store.len(), 2);
+        drop(store);
+        assert_eq!(store_cmd(&store_argv(&format!("verify --store {dir}"))), 0);
+
+        // Flip one payload byte in a blob: verify must find it (exit 1).
+        let blob = root.join("blobs").join(format!("{key}.uhrtf"));
+        let mut bytes = std::fs::read(&blob).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&blob, bytes).unwrap();
+        assert_eq!(store_cmd(&store_argv(&format!("verify --store {dir}"))), 1);
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn store_put_appends_ledger_record() {
+        let root = temp_path("store_ledger");
+        let history = temp_path("store_ledger.jsonl");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::remove_file(&history).ok();
+        assert_eq!(
+            store_cmd(&store_argv(&format!(
+                "put --store {} --seed 6 --anechoic --grid 15 --snr 45 --history {}",
+                root.display(),
+                history.display()
+            ))),
+            0
+        );
+        let text = std::fs::read_to_string(&history).unwrap();
+        let records = uniq_telemetry::ledger::read_history(&text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].label, "store-put");
+        let store_section = records[0].store.as_deref().unwrap();
+        assert!(store_section.contains("key "), "{store_section}");
+        assert!(store_section.contains("new"), "{store_section}");
+        std::fs::remove_file(&history).ok();
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

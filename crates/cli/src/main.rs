@@ -14,6 +14,9 @@ fn main() {
     match raw.first().map(String::as_str) {
         Some("trace") => std::process::exit(commands::trace_cmd(&raw[1..])),
         Some("history") => std::process::exit(commands::history_cmd(&raw[1..])),
+        // `store` owns a verb sub-grammar (put/get/ls/verify/export/import)
+        // with its own 0/1/2 exit contract, dispatched the same way.
+        Some("store") => std::process::exit(commands::store_cmd(&raw[1..])),
         _ => {}
     }
     // `profile` and `faults` wrap another command (`uniq profile faults

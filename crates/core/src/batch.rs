@@ -69,41 +69,99 @@ pub fn personalize_batch(
     outcomes
 }
 
-/// FNV-1a fingerprint of every successful outcome's numeric output (far
-/// and near HRIR bits, radius, localization estimates), folded in seed
+/// Incremental FNV-1a 64 digest over 64-bit words, the shared primitive
+/// behind every determinism fingerprint in the workspace. Exposed so
+/// other layers (e.g. the artifact store) can reproduce a result's
+/// fingerprint from serialized fields and prove bit-exact round trips.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    h: u64,
+}
+
+impl FingerprintBuilder {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> FingerprintBuilder {
+        FingerprintBuilder {
+            h: Self::FNV_OFFSET,
+        }
+    }
+
+    /// Folds one 64-bit word, byte by byte, little-endian.
+    pub fn eat(&mut self, bits: u64) {
+        for byte in bits.to_le_bytes() {
+            self.h = (self.h ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
+    }
+}
+
+/// Folds one successful personalization's numeric output into `fp`
+/// exactly as [`hrtf_fingerprint`] digests it: seed, radius bits,
+/// attempts, localization pairs, then every HRIR sample of each ear pair
+/// (near bank first, then far; left ear then right). Callers that hold
+/// the result in a different representation (e.g. a decoded `.uhrtf`
+/// artifact) use this to recompute the identical fingerprint.
+pub fn fold_result_parts<'a>(
+    fp: &mut FingerprintBuilder,
+    seed: u64,
+    radius_m: f64,
+    attempts: u64,
+    localization: &[(f64, f64)],
+    ears: impl IntoIterator<Item = (&'a [f64], &'a [f64])>,
+) {
+    fp.eat(seed);
+    fp.eat(radius_m.to_bits());
+    fp.eat(attempts);
+    for &(truth, est) in localization {
+        fp.eat(truth.to_bits());
+        fp.eat(est.to_bits());
+    }
+    for (left, right) in ears {
+        for &v in left.iter().chain(right) {
+            fp.eat(v.to_bits());
+        }
+    }
+}
+
+/// FNV-1a fingerprint of every successful outcome's numeric output (near
+/// and far HRIR bits, radius, localization estimates), folded in seed
 /// order. Two batches over the same seeds agree on this number if and
 /// only if they produced bit-identical HRTFs — the determinism contract
 /// a thread-count change must preserve.
 pub fn hrtf_fingerprint(outcomes: &[BatchOutcome]) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    let mut eat = |bits: u64| {
-        for byte in bits.to_le_bytes() {
-            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
-        }
-    };
+    let mut fp = FingerprintBuilder::new();
     for outcome in outcomes {
-        eat(outcome.seed);
         let Ok(result) = &outcome.result else {
-            eat(u64::MAX);
+            fp.eat(outcome.seed);
+            fp.eat(u64::MAX);
             continue;
         };
-        eat(result.radius_m.to_bits());
-        eat(result.attempts as u64);
-        for (truth, est) in &result.localization {
-            eat(truth.to_bits());
-            eat(est.to_bits());
-        }
-        for bank in [result.hrtf.near(), result.hrtf.far()] {
-            for ir in bank.irs() {
-                for &v in ir.left.iter().chain(&ir.right) {
-                    eat(v.to_bits());
-                }
-            }
-        }
+        fold_result_parts(
+            &mut fp,
+            outcome.seed,
+            result.radius_m,
+            result.attempts as u64,
+            &result.localization,
+            [result.hrtf.near(), result.hrtf.far()]
+                .into_iter()
+                .flat_map(|bank| bank.irs().iter())
+                .map(|ir| (ir.left.as_slice(), ir.right.as_slice())),
+        );
     }
-    h
+    fp.finish()
 }
 
 /// Throughput at one pool size, from [`scaling_sweep`].

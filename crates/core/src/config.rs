@@ -109,6 +109,40 @@ impl UniqConfig {
         out
     }
 
+    /// A stable FNV-1a digest of every result-affecting parameter, used
+    /// by the artifact store to attribute a stored HRTF to the exact
+    /// configuration that produced it. `threads` is deliberately
+    /// excluded: results are bit-identical across thread counts, so two
+    /// runs differing only in pool size share a hash.
+    pub fn content_hash(&self) -> u64 {
+        let mut fp = crate::batch::FingerprintBuilder::new();
+        fp.eat(self.render.sample_rate.to_bits());
+        fp.eat(self.render.ir_len as u64);
+        fp.eat(self.render.speed_of_sound.to_bits());
+        fp.eat(self.render.shadow_kappa.to_bits());
+        fp.eat(self.render.shadow_f0.to_bits());
+        fp.eat(self.render.base_delay.to_bits());
+        fp.eat(self.probe_f0.to_bits());
+        fp.eat(self.probe_f1.to_bits());
+        fp.eat(self.probe_duration.to_bits());
+        fp.eat(self.stops as u64);
+        fp.eat(self.snr_db.to_bits());
+        fp.eat(u64::from(self.in_room));
+        fp.eat(self.deconv_noise_floor.to_bits());
+        fp.eat(self.channel_len as u64);
+        fp.eat(self.tap_threshold.to_bits());
+        fp.eat(self.room_gate_s.to_bits());
+        fp.eat(self.inverse_resolution as u64);
+        fp.eat(self.grid_step_deg.to_bits());
+        fp.eat(self.min_radius_m.to_bits());
+        fp.eat(self.max_fusion_residual_deg.to_bits());
+        fp.eat(self.aoa_lambda.to_bits());
+        fp.eat(self.gyro.bias_dps.to_bits());
+        fp.eat(self.gyro.noise_std_dps.to_bits());
+        fp.eat(self.gyro.bias_walk_dps.to_bits());
+        fp.finish()
+    }
+
     /// Validates the configuration, reporting the first inconsistency
     /// found.
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -316,6 +350,28 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(cfg.output_grid().len(), 7);
+    }
+
+    #[test]
+    fn content_hash_ignores_threads_but_sees_parameters() {
+        let base = UniqConfig::default();
+        let rethreaded = UniqConfig {
+            threads: 8,
+            ..UniqConfig::default()
+        };
+        assert_eq!(
+            base.content_hash(),
+            rethreaded.content_hash(),
+            "thread count must not change result attribution"
+        );
+        let quieter = UniqConfig {
+            snr_db: 20.0,
+            ..UniqConfig::default()
+        };
+        assert_ne!(base.content_hash(), quieter.content_hash());
+        let mut slower = UniqConfig::default();
+        slower.render.sample_rate = 44_100.0;
+        assert_ne!(base.content_hash(), slower.content_hash());
     }
 
     #[test]

@@ -77,6 +77,13 @@ pub const RENDER_EXTERNALIZATION_PROXY: &str = "render.externalization_proxy";
 /// `uniq-telemetry`).
 pub const OBS_TELEMETRY_OVERHEAD_NS: &str = "obs.telemetry_overhead_ns";
 
+/// Bytes written for one non-deduplicated artifact put.
+pub const STORE_PUT_BYTES: &str = "store.put_bytes";
+/// Puts answered by an existing blob (counter).
+pub const STORE_DEDUP_HITS: &str = "store.dedup_hits";
+/// Distinct artifacts in the store after an operation.
+pub const STORE_ENTRIES: &str = "store.entries";
+
 /// Every metric/counter name the workspace may emit. The workspace-level
 /// `every_emitted_name_is_registered` test runs a full pipeline under a
 /// `MemorySink` and asserts the emitted set is a subset of this list, so
@@ -108,6 +115,9 @@ pub const ALL_METRICS: &[&str] = &[
     RENDER_CROSSFADE_SAMPLES,
     RENDER_EXTERNALIZATION_PROXY,
     OBS_TELEMETRY_OVERHEAD_NS,
+    STORE_PUT_BYTES,
+    STORE_DEDUP_HITS,
+    STORE_ENTRIES,
 ];
 
 // Span names. Spans are the unit the profiling layer (`uniq-profile`)
@@ -145,6 +155,12 @@ pub const SPAN_RENDER_ENGINE: &str = "render.engine";
 pub const SPAN_RENDER_MOTION: &str = "render.motion";
 /// Binaural quality-metric computation (LSD / ITD / ILD comparison).
 pub const SPAN_RENDER_METRICS: &str = "render.metrics";
+/// One artifact put into the content-addressed store.
+pub const SPAN_STORE_PUT: &str = "store.put";
+/// One artifact load (key check + decode) from the store.
+pub const SPAN_STORE_GET: &str = "store.get";
+/// A full deep-verification sweep over the store.
+pub const SPAN_STORE_VERIFY: &str = "store.verify";
 
 /// Every span name the workspace may open (see [`ALL_METRICS`] for the
 /// covering test).
@@ -163,6 +179,9 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_RENDER_ENGINE,
     SPAN_RENDER_MOTION,
     SPAN_RENDER_METRICS,
+    SPAN_STORE_PUT,
+    SPAN_STORE_GET,
+    SPAN_STORE_VERIFY,
 ];
 
 /// The spans every successful `personalize` run must traverse — the

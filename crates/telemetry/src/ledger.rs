@@ -58,6 +58,9 @@ pub struct LedgerRecord {
     pub stage_p99_ns: BTreeMap<String, f64>,
     /// Degradation summary of a faulted run (`None` = clean).
     pub degradation: Option<String>,
+    /// Artifact-store summary of a run that persisted its result
+    /// (`None` = nothing stored).
+    pub store: Option<String>,
 }
 
 impl LedgerRecord {
@@ -75,6 +78,7 @@ impl LedgerRecord {
             stage_p50_ns: BTreeMap::new(),
             stage_p99_ns: BTreeMap::new(),
             degradation: None,
+            store: None,
         }
     }
 
@@ -159,6 +163,9 @@ impl LedgerRecord {
         if let Some(deg) = &self.degradation {
             line.push_str(&format!(",\"degradation\":\"{}\"", json_escape(deg)));
         }
+        if let Some(store) = &self.store {
+            line.push_str(&format!(",\"store\":\"{}\"", json_escape(store)));
+        }
         line.push('}');
         line
     }
@@ -207,6 +214,7 @@ impl LedgerRecord {
                 .get("degradation")
                 .and_then(Json::as_str)
                 .map(String::from),
+            store: doc.get("store").and_then(Json::as_str).map(String::from),
         })
     }
 }
@@ -485,6 +493,7 @@ mod tests {
     fn record_round_trips_through_json() {
         let mut r = record("baseline", 4.5, 2.0);
         r.degradation = Some("dropped=1 retried=2".into());
+        r.store = Some("key 00deadbeef00c0de, 1234 bytes, new".into());
         let line = r.to_json_line();
         let parsed = LedgerRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(parsed, r);

@@ -71,6 +71,35 @@ for threads in 1 4; do
   grep -q "uniq_personalize_ns_count" "$ci_tmp/telemetry_$threads.prom"
 done
 
+echo "== store smoke (put/get/verify round trip, 1 and 4 threads) =="
+# The content-addressed store must round-trip the personalized HRTF
+# bit-exactly: put at both pool sizes lands on the same content key
+# (one blob + one dedup hit), get succeeds, verify walks every blob
+# clean, and export/import closes the text-format loop.
+UNIQ_THREADS=1 target/release/uniq store put --store "$ci_tmp/store" \
+  --seed 6 --anechoic --grid 15 --snr 45 --history "$ci_tmp/history.jsonl" \
+  > "$ci_tmp/store_put_1.log"
+grep -q "^key " "$ci_tmp/store_put_1.log"
+UNIQ_THREADS=4 target/release/uniq store put --store "$ci_tmp/store" \
+  --seed 6 --anechoic --grid 15 --snr 45 --history "$ci_tmp/history.jsonl" \
+  > "$ci_tmp/store_put_4.log"
+grep -q "deduplicated" "$ci_tmp/store_put_4.log"
+store_key="$(awk '/^key /{print $2}' "$ci_tmp/store_put_1.log")"
+target/release/uniq store get --store "$ci_tmp/store" --key "$store_key" \
+  --table "$ci_tmp/store_hrtf.uniqhrtf" > /dev/null
+target/release/uniq store ls --store "$ci_tmp/store" | grep -q "$store_key"
+target/release/uniq store verify --store "$ci_tmp/store"
+target/release/uniq store export --store "$ci_tmp/store" --key "$store_key" \
+  --out "$ci_tmp/store_export.uniqhrtf" > /dev/null
+target/release/uniq store import --store "$ci_tmp/store" \
+  --table "$ci_tmp/store_export.uniqhrtf" --seed 6 > /dev/null
+# A missing key must be a typed failure (exit 1), not a crash.
+if target/release/uniq store get --store "$ci_tmp/store" \
+  --key 0000000000000000 >/dev/null 2>&1; then
+  echo "store get succeeded on a key that does not exist" >&2
+  exit 1
+fi
+
 echo "== baseline determinism (two runs, bit-identical quality) =="
 target/release/baseline run --out "$ci_tmp/fresh_a.json" --history "$ci_tmp/history.jsonl"
 target/release/baseline run --out "$ci_tmp/fresh_b.json" --history "$ci_tmp/history.jsonl"

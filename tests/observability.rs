@@ -188,6 +188,7 @@ fn every_emitted_name_is_registered() {
 
         // Render layer: snapshot mix, motion timeline, comparison metrics.
         let sample_rate = table.sample_rate();
+        let artifact = uniq_store::HrtfArtifact::from_result(45, &result, cfg.content_hash(), None);
         let engine = uniq_render::BinauralEngine::new(result.hrtf);
         let mut scene = uniq_render::Scene::new();
         scene.add("voice", uniq_geometry::Vec2::new(-2.0, 1.0), 1.0);
@@ -196,6 +197,18 @@ fn every_emitted_name_is_registered() {
         let poses = uniq_render::motion::turning_head(0.0, 40.0, 4);
         uniq_render::motion::render_with_motion(&engine, &scene, &poses, &sig, 256, 64);
         uniq_render::metrics::compare(&out, &out, sample_rate);
+
+        // Artifact store: put (twice, so the dedup counter fires), get,
+        // and a deep verify exercise every store.* span and metric.
+        let root = std::env::temp_dir().join(format!("uniq_obs_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = uniq_store::Store::open(&root).expect("open scratch store");
+        let outcome = store.put(&artifact).expect("store put");
+        assert!(store.put(&artifact).expect("dedup put").deduped);
+        store.get(&outcome.key).expect("store get");
+        assert!(store.verify().is_clean());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&root);
     });
 
     let events = memory.events();

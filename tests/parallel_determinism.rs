@@ -199,6 +199,71 @@ fn faulted_pipeline_bit_identical_across_thread_counts() {
     );
 }
 
+/// N parallel writers racing `Store::put` must leave the store in the
+/// same logical state as a sequential run: one blob per distinct
+/// artifact, exact dedup accounting, a replayable index, and a store
+/// fingerprint that is bit-identical at 1 and 8 threads (index line
+/// *order* may differ; the contents may not).
+#[test]
+fn store_state_bit_identical_across_parallel_writers() {
+    use uniq_store::Store;
+
+    // 24 put jobs over 8 distinct artifacts → 16 dedup hits, regardless
+    // of which writer wins each race.
+    let jobs: Vec<u64> = (0..24).map(|i| i % 8).collect();
+    let run = |threads: usize| {
+        let root =
+            std::env::temp_dir().join(format!("uniq_store_par_{}_{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Store::open(&root).expect("open scratch store");
+        let pool = uniq_par::pool(threads);
+        let outcomes = pool.par_map_chunked(&jobs, 1, |&seed| {
+            let mut artifact = uniq_store::HrtfArtifact {
+                seed,
+                subject_fingerprint: 0,
+                config_hash: 0xD15C,
+                sample_rate: 48_000.0,
+                head: [0.08, 0.09, 0.10],
+                radius_m: 0.4 + seed as f64 * 0.01,
+                attempts: 1,
+                localization: vec![(seed as f64, seed as f64 + 0.5)],
+                near: uniq_store::Grid {
+                    angles_deg: vec![0.0, 90.0],
+                    ir_len: 3,
+                    irs: vec![
+                        (vec![seed as f64, 1.0, 2.0], vec![3.0, 4.0, 5.0]),
+                        (vec![6.0, 7.0, seed as f64], vec![9.0, 10.0, 11.0]),
+                    ],
+                },
+                far: uniq_store::Grid::empty(),
+                degradation_json: None,
+            };
+            artifact.subject_fingerprint = artifact.fingerprint();
+            store.put(&artifact).expect("parallel put")
+        });
+        assert_eq!(outcomes.iter().filter(|o| o.deduped).count(), 16);
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.dedup_hits(), 16);
+        assert!(
+            store.verify().is_clean(),
+            "store corrupt after parallel puts"
+        );
+        let fingerprint = store.fingerprint();
+        // Reopening replays the index the writers appended concurrently.
+        drop(store);
+        let reopened = Store::open(&root).expect("reopen after parallel puts");
+        assert_eq!(reopened.len(), 8);
+        assert_eq!(reopened.fingerprint(), fingerprint);
+        let _ = std::fs::remove_dir_all(&root);
+        fingerprint
+    };
+    assert_eq!(
+        run(1),
+        run(8),
+        "store fingerprint diverged between 1 and 8 writer threads"
+    );
+}
+
 #[test]
 fn batch_fingerprint_identical_across_thread_counts() {
     let cfg = UniqConfig {
