@@ -1,0 +1,25 @@
+//! Hot-path allocation fixture: the measured region of a fusion span
+//! allocates per iteration, and so does a helper it calls. Allocation
+//! before the span starts is setup and stays exempt.
+
+/// Fuses samples under the fusion span; allocates inside it.
+pub fn fuse(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_FUSION);
+    for x in xs {
+        out.push(shape(*x));
+    }
+    out
+}
+
+/// Pure arithmetic between the span and the allocating leaf.
+fn shape(x: f64) -> f64 {
+    scratch_mean(x) * 0.5
+}
+
+/// Allocates a fresh scratch vector on every call.
+fn scratch_mean(x: f64) -> f64 {
+    let mut v = Vec::new();
+    v.push(x);
+    v.iter().sum::<f64>() / v.len() as f64
+}

@@ -1,0 +1,18 @@
+//! Hot-path allocation fixture, clean counterpart: the output buffer is
+//! sized before the span opens and the measured region only writes into
+//! it through the iterator — no allocation inside the span.
+
+/// Fuses samples under the fusion span without allocating inside it.
+pub fn fuse(xs: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; xs.len()];
+    let _span = uniq_obs::span(uniq_obs::names::SPAN_FUSION);
+    for (slot, x) in out.iter_mut().zip(xs) {
+        *slot = shape(*x);
+    }
+    out
+}
+
+/// Pure arithmetic; nothing to allocate.
+fn shape(x: f64) -> f64 {
+    (x * 0.5).tanh()
+}

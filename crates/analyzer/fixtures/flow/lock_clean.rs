@@ -1,0 +1,33 @@
+//! Lock-order fixture, clean counterpart: both functions take the pair
+//! in the same order and every guard is dropped before the pool call.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+/// Takes `alpha` then `beta`.
+pub fn add_both(p: &Pair) {
+    let a = p.alpha.lock().expect("alpha poisoned");
+    let b = p.beta.lock().expect("beta poisoned");
+    drop(b);
+    drop(a);
+}
+
+/// Same order as `add_both`: no cycle.
+pub fn sub_both(p: &Pair) {
+    let a = p.alpha.lock().expect("alpha poisoned");
+    let b = p.beta.lock().expect("beta poisoned");
+    drop(b);
+    drop(a);
+}
+
+/// Reads the value, releases the guard, then goes parallel.
+pub fn flush_parallel(p: &Pair, pool: &ThreadPool, items: &[u32]) -> Vec<u32> {
+    let a = p.alpha.lock().expect("alpha poisoned");
+    let base = *a;
+    drop(a);
+    pool.par_map(items, |x| x + base)
+}

@@ -1,0 +1,32 @@
+//! Lock-order fixture: two functions acquire the same pair of mutexes
+//! in opposite orders — the classic AB/BA deadlock — and a third hands
+//! work to the pool while holding a guard.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+/// Takes `alpha` then `beta`.
+pub fn add_both(p: &Pair) {
+    let a = p.alpha.lock().expect("alpha poisoned");
+    let b = p.beta.lock().expect("beta poisoned");
+    drop(b);
+    drop(a);
+}
+
+/// Takes `beta` then `alpha`: an AB/BA cycle with `add_both`.
+pub fn sub_both(p: &Pair) {
+    let b = p.beta.lock().expect("beta poisoned");
+    let a = p.alpha.lock().expect("alpha poisoned");
+    drop(a);
+    drop(b);
+}
+
+/// Holds `alpha` across a `par_map` boundary.
+pub fn flush_parallel(p: &Pair, pool: &ThreadPool, items: &[u32]) -> Vec<u32> {
+    let a = p.alpha.lock().expect("alpha poisoned");
+    pool.par_map(items, |x| x + *a)
+}

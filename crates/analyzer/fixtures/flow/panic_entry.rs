@@ -1,0 +1,7 @@
+//! Panic-reachability fixture, result-crate side: a public entry point
+//! that reaches an `unwrap` in a utility crate.
+
+/// Public result-crate entry point; reaches the helper's unwrap.
+pub fn summarize(xs: &[f64]) -> f64 {
+    first_or_die(xs) / xs.len() as f64
+}

@@ -1,0 +1,14 @@
+//! Panic-reachability fixture, helper side: two panicking helpers in a
+//! utility crate. Only the one a result-crate entry point can reach may
+//! be reported.
+
+/// Reached from the result-crate entry: its unwrap is a finding.
+pub fn first_or_die(xs: &[f64]) -> f64 {
+    let head = xs.first();
+    head.unwrap().abs()
+}
+
+/// Never called from a result entry; its unwrap stays unreported.
+pub fn orphan_unwrap(xs: &[f64]) -> f64 {
+    xs.last().unwrap().abs()
+}

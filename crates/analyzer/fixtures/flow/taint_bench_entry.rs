@@ -1,0 +1,12 @@
+//! Interprocedural taint fixture, negative case: the same timing helper
+//! called only from bench code. Bench output is not a result artifact,
+//! so no taint finding may fire.
+
+/// Bench driver; wall-clock use here is the whole point of a benchmark.
+pub fn bench_loop(iters: u32) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        acc += elapsed_budget_ms();
+    }
+    acc
+}

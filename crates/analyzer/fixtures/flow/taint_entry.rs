@@ -1,0 +1,11 @@
+//! Interprocedural taint fixture, result-crate side: the public entry
+//! point never touches a clock itself — it calls a helper that lives in
+//! a utility crate, where the line-local wall-clock rule does not
+//! apply. Only the call-graph taint rule can see the laundering.
+
+/// Public result-crate entry point; transitively tainted through
+/// `elapsed_budget_ms`.
+pub fn estimate_with_budget(samples: &[f64]) -> f64 {
+    let budget = elapsed_budget_ms();
+    samples.iter().sum::<f64>() + budget
+}

@@ -1,0 +1,9 @@
+//! Interprocedural taint fixture, helper side: a timing helper in a
+//! non-result utility crate. Harmless on its own — the finding depends
+//! on who calls it.
+
+/// Milliseconds elapsed since an arbitrary origin: a wall-clock read.
+pub fn elapsed_budget_ms() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64() * 1000.0
+}

@@ -11,6 +11,19 @@
 //! **observability hygiene** (span guards bound, metric names shared
 //! constants).
 //!
+//! Since v2 the analyzer also reasons *across* function calls: a
+//! workspace-wide symbol table ([`symbols`]), a conservative name/arity
+//! call graph ([`callgraph`]), and a fixed-point dataflow engine
+//! ([`dataflow`]) drive four interprocedural rule families
+//! ([`flow_rules`]): determinism taint (nondeterminism sources may not
+//! reach result-crate public fns, however many helpers launder them),
+//! panic reachability (panic sites in support crates reachable from
+//! result entry points), lock order (Mutex acquisition cycles and
+//! guards held across pool boundaries), and hot-path allocation
+//! (functions reachable from hot spans must not allocate per call).
+//! A stale-suppression audit closes the loop: an `allow(...)` that
+//! silences nothing is itself a finding.
+//!
 //! Why a bespoke tool instead of clippy lints: the invariants are
 //! *domain* rules — "crate X may not read the clock", "metric names
 //! must come from `uniq_obs::names`" — that no general-purpose lint
@@ -43,15 +56,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod cli;
+pub mod dataflow;
 pub mod diagnostics;
+pub mod facts;
+pub mod flow_rules;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 pub mod workspace;
 
-pub use diagnostics::{Diagnostic, Severity};
+pub use diagnostics::{to_json_report, Diagnostic, ReportSummary, Severity, TraceStep};
 pub use source::SourceFile;
-pub use workspace::{analyze_workspace, find_root, WorkspaceReport};
+pub use workspace::{
+    analyze_sources, analyze_workspace, analyze_workspace_with, find_root, SourceSpec,
+    WorkspaceReport,
+};
 
 /// Analyzes a single source text as if it were at `path` in crate
 /// `crate_name`. The entry point the golden-fixture tests use.

@@ -1,119 +1,42 @@
 //! The `uniq-analyzer` binary: `uniq-analyzer check [--format json]
-//! [--strict] [--root <path>]`. See the library docs for the rule set.
+//! [--strict] [--root <path>] [--threads <n>] [--out <file>]
+//! [--budget-seconds <s>]`. See the library docs for the rule set. The
+//! same driver backs the `uniq analyze` verb.
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use uniq_analyzer::diagnostics::{to_json, Severity};
-use uniq_analyzer::{analyze_workspace, find_root};
+use uniq_analyzer::cli::{run_check, OPTIONS_HELP};
 
-fn usage() -> &'static str {
-    "uniq-analyzer — static analysis for the UNIQ workspace\n\
-     \n\
-     USAGE:\n\
-     \x20   uniq-analyzer check [OPTIONS]\n\
-     \n\
-     OPTIONS:\n\
-     \x20   --format <text|json>   output format (default: text)\n\
-     \x20   --strict               also run audit-level warning rules\n\
-     \x20   --root <path>          workspace root (default: auto-detect\n\
-     \x20                          from the current directory)\n\
-     \n\
-     EXIT STATUS:\n\
-     \x20   0  no unsuppressed error-severity findings\n\
-     \x20   1  findings present\n\
-     \x20   2  usage or I/O error"
-}
-
-struct Options {
-    json: bool,
-    strict: bool,
-    root: Option<PathBuf>,
-}
-
-fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut it = args.iter();
-    match it.next().map(String::as_str) {
-        Some("check") => {}
-        Some(other) => return Err(format!("unknown command `{other}`")),
-        None => return Err("missing command (expected `check`)".to_string()),
-    }
-    let mut opts = Options {
-        json: false,
-        strict: false,
-        root: None,
-    };
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--format" => match it.next().map(String::as_str) {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
-            },
-            "--strict" => opts.strict = true,
-            "--root" => match it.next() {
-                Some(p) => opts.root = Some(PathBuf::from(p)),
-                None => return Err("--root expects a path".to_string()),
-            },
-            other => return Err(format!("unknown option `{other}`")),
-        }
-    }
-    Ok(opts)
+fn usage() -> String {
+    format!(
+        "uniq-analyzer — static analysis for the UNIQ workspace\n\
+         \n\
+         USAGE:\n\
+         \x20   uniq-analyzer check [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         {OPTIONS_HELP}\n\
+         \n\
+         EXIT STATUS:\n\
+         \x20   0  no unsuppressed error-severity findings\n\
+         \x20   1  findings present\n\
+         \x20   2  usage or I/O error"
+    )
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
-            return ExitCode::from(2);
+    match args.first().map(String::as_str) {
+        Some("check") => ExitCode::from(run_check(&args[1..], &usage()) as u8),
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{}", usage());
+            ExitCode::from(2)
         }
-    };
-
-    let root = match opts
-        .root
-        .or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd)))
-    {
-        Some(r) => r,
         None => {
-            eprintln!("error: could not locate the workspace root (pass --root)");
-            return ExitCode::from(2);
+            eprintln!("error: missing command (expected `check`)\n\n{}", usage());
+            ExitCode::from(2)
         }
-    };
-
-    let report = match analyze_workspace(&root, opts.strict) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: analysis failed: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let errors = report
-        .diagnostics
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    let warnings = report.diagnostics.len() - errors;
-
-    if opts.json {
-        println!("{}", to_json(&report.diagnostics));
-    } else {
-        for d in &report.diagnostics {
-            println!("{d}");
-        }
-        println!(
-            "uniq-analyzer: {} files, {} suppressions, {} errors, {} warnings",
-            report.files_analyzed, report.suppressions, errors, warnings
-        );
-    }
-
-    if errors > 0 {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
     }
 }

@@ -20,6 +20,17 @@
 //! | `obs-context` | everywhere | emission in pool closures runs under a captured `ObsContext` |
 //! | `bad-suppression` | everywhere | suppressions carry a justification and name real rules |
 //!
+//! The interprocedural rule families live in [`crate::flow_rules`] and
+//! run at workspace scope (they need the whole call graph):
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `determinism-taint` | workspace | no call path from a result-crate public fn to a nondeterminism source |
+//! | `panic-reachability` | workspace | no panic site in support crates reachable from result-crate entry points |
+//! | `lock-order` | `store`/`telemetry`/`obs` | Mutex acquisition graph is acyclic; no guard held across a pool boundary |
+//! | `hot-path-alloc` | workspace | fns reachable from hot spans do not allocate per call |
+//! | `stale-suppression` | workspace | every `allow(...)` still matches a finding |
+//!
 //! "Result crates" are the crates whose output feeds the paper's
 //! evaluation numbers: a nondeterministic iteration or wall-clock read
 //! there silently breaks run-to-run bit-identity of per-subject HRTF
@@ -60,12 +71,32 @@ pub const RULE_NAMES: &[&str] = &[
     "obs-metric-name",
     "obs-context",
     "bad-suppression",
+    "determinism-taint",
+    "panic-reachability",
+    "lock-order",
+    "hot-path-alloc",
+    "stale-suppression",
 ];
 
 /// Runs every rule over `file`, applies suppressions, and validates the
 /// suppressions themselves. `strict` enables the warning-level audit
 /// rules (currently `slice-index`).
 pub fn analyze_file(file: &SourceFile, strict: bool) -> Vec<Diagnostic> {
+    let raw = raw_findings(file, strict);
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !file.is_suppressed(d.rule, d.line))
+        .collect();
+    check_suppressions(file, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Runs every line-local rule over `file` WITHOUT applying suppressions
+/// or validating them. The workspace driver uses this so it can track
+/// which suppressions actually silence something (the stale-suppression
+/// audit); [`analyze_file`] keeps the filtered per-file behavior.
+pub(crate) fn raw_findings(file: &SourceFile, strict: bool) -> Vec<Diagnostic> {
     let mut raw = Vec::new();
     hash_iteration(file, &mut raw);
     wall_clock(file, &mut raw);
@@ -79,14 +110,7 @@ pub fn analyze_file(file: &SourceFile, strict: bool) -> Vec<Diagnostic> {
     obs_span_guard(file, &mut raw);
     obs_metric_name(file, &mut raw);
     obs_context(file, &mut raw);
-
-    let mut out: Vec<Diagnostic> = raw
-        .into_iter()
-        .filter(|d| !file.is_suppressed(d.rule, d.line))
-        .collect();
-    check_suppressions(file, &mut out);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+    raw
 }
 
 fn is_result_crate(file: &SourceFile) -> bool {
@@ -100,13 +124,7 @@ fn diag(
     severity: Severity,
     message: String,
 ) -> Diagnostic {
-    Diagnostic {
-        file: file.path.clone(),
-        line,
-        rule,
-        severity,
-        message,
-    }
+    Diagnostic::new(file.path.clone(), line, rule, severity, message)
 }
 
 /// `hash-iteration`: `HashMap`/`HashSet` banned in result crates. Their
@@ -538,7 +556,7 @@ fn obs_context(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// suppression must name known rules and carry a non-empty one-line
 /// justification, otherwise the audit trail the suppressions exist to
 /// provide is worthless.
-fn check_suppressions(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_suppressions(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for s in &file.suppressions {
         if s.justification.trim().is_empty() {
             out.push(diag(

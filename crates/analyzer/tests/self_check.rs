@@ -4,7 +4,9 @@
 //! a regression (a new unwrap, a missing forbid attribute, a drive-by
 //! inline metric name) without needing the CI script.
 
-use uniq_analyzer::{analyze_workspace, Severity};
+use uniq_analyzer::{
+    analyze_workspace, analyze_workspace_with, to_json_report, ReportSummary, Severity,
+};
 
 #[test]
 fn workspace_has_zero_unsuppressed_findings() {
@@ -31,6 +33,30 @@ fn workspace_has_zero_unsuppressed_findings() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn diagnostics_are_bit_identical_at_one_and_eight_threads() {
+    // The analyzer holds itself to the determinism bar it enforces: the
+    // whole report — findings, traces, counts — must not depend on the
+    // pool width used to produce it.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let json_of = |threads: usize| {
+        let report = analyze_workspace_with(&root, true, threads).expect("analysis runs");
+        to_json_report(
+            &report.diagnostics,
+            &ReportSummary {
+                files: report.files_analyzed,
+                suppressions: report.suppressions,
+                stale_suppressions: report.stale_suppressions,
+                strict: true,
+            },
+        )
+    };
+    assert_eq!(json_of(1), json_of(8));
 }
 
 #[test]

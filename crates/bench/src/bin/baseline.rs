@@ -169,8 +169,8 @@ fn main() {
                 std::process::exit(1);
             });
             println!("baseline written to {out}");
-            // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
             append_ledger(
+                // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
                 &Json::parse(&doc).expect("self-emitted baseline JSON"),
                 &opts,
             );
@@ -184,8 +184,8 @@ fn main() {
                 std::process::exit(1);
             });
             println!("blessed {BASELINE_FILE} — review the diff before committing");
-            // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
             append_ledger(
+                // uniq-analyzer: allow(panic-safety) — run_baseline emits its own JSON; a parse failure is a bug worth a crash
                 &Json::parse(&doc).expect("self-emitted baseline JSON"),
                 &opts,
             );

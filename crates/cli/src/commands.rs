@@ -113,6 +113,17 @@ fn run_observed(
     result
 }
 
+/// `uniq analyze [OPTIONS]`: runs the whole-workspace static analyzer
+/// (the same driver as the standalone `uniq-analyzer check`). Exit 0 =
+/// clean, 1 = unsuppressed error findings, 2 = usage or I/O error.
+pub fn analyze_cmd(args: &[String]) -> i32 {
+    let usage = format!(
+        "usage: uniq analyze [OPTIONS]\n\nOPTIONS:\n{}",
+        uniq_analyzer::cli::OPTIONS_HELP
+    );
+    uniq_analyzer::cli::run_check(args, &usage)
+}
+
 /// `uniq trace report FILE`: rebuilds the causal span tree of a
 /// `--metrics-out` JSONL file and prints the critical path and per-stage
 /// self-time table. Exit 0 = complete tree, 1 = orphaned spans or an
@@ -671,6 +682,12 @@ pub fn usage() -> String {
      \x20 store export --store DIR --key KEY --out F.uniqhrtf\n\
      \x20 store import --store DIR --table F.uniqhrtf [--seed N]\n\
      \x20     round-trip artifacts through the .uniqhrtf text format\n\
+     \n\
+     quality gates:\n\
+     \x20 analyze [--strict] [--format text|json] [--out FILE] [--threads N]\n\
+     \x20     whole-workspace static analysis: line-local rules plus the\n\
+     \x20     call-graph determinism / panic-reachability / lock-order /\n\
+     \x20     hot-path-allocation lints (exit 1 on findings)\n\
      \n\
      observability (any command):\n\
      \x20 --trace              live span tree on stderr + end-of-run stage summary\n\

@@ -17,6 +17,9 @@ fn main() {
         // `store` owns a verb sub-grammar (put/get/ls/verify/export/import)
         // with its own 0/1/2 exit contract, dispatched the same way.
         Some("store") => std::process::exit(commands::store_cmd(&raw[1..])),
+        // `analyze` takes the analyzer's own option grammar and shares
+        // its 0/1/2 gate contract.
+        Some("analyze") => std::process::exit(commands::analyze_cmd(&raw[1..])),
         _ => {}
     }
     // `profile` and `faults` wrap another command (`uniq profile faults

@@ -184,6 +184,16 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_STORE_VERIFY,
 ];
 
+/// The spans whose enclosing code is a *hot path*: per-iteration work
+/// dominating wall time (fusion is ~97% of seed-6 profile; channel
+/// estimation runs once per stop inside it). `uniq-analyzer`'s
+/// `hot-path-alloc` rule seeds on span sites naming these constants and
+/// forbids per-call allocation in everything they transitively reach —
+/// the scratch-arena discipline the upcoming SIMD/planned-FFT rewrite
+/// will be held to. The analyzer reads this list textually from this
+/// file, so extending it retunes the gate without touching the analyzer.
+pub const HOT_PATH_SPANS: &[&str] = &[SPAN_FUSION, SPAN_CHANNEL_ESTIMATE];
+
 /// The spans every successful `personalize` run must traverse — the
 /// stage-coverage contract the `verify-profile` CI smoke asserts on a
 /// profiled run's JSON output.

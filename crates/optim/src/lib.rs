@@ -84,6 +84,7 @@ pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: &NelderMeadOptio
     let scale = x0.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     let floor = opts.initial_step * 0.05 * (1.0 + scale);
     let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    // uniq-analyzer: allow(hot-path-alloc) — the optimizer allocates a handful of n-element points (n = 3 head parameters) per iteration, once per fusion solve — not in the per-sample path
     simplex.push((x0.to_vec(), eval(x0)));
     for i in 0..n {
         let mut x = x0.to_vec();

@@ -54,7 +54,9 @@ pub fn threads_from_env(value: Option<&str>) -> Option<usize> {
 pub fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
+        // uniq-analyzer: allow(determinism-taint) — UNIQ_THREADS picks the pool width only; par_map output is index-ordered and bit-identical at any width
         threads_from_env(std::env::var("UNIQ_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            // uniq-analyzer: allow(determinism-taint) — machine parallelism picks the pool width only; results never depend on it
             std::thread::available_parallelism()
                 .map(|n| n.get().min(MAX_THREADS))
                 .unwrap_or(1)
@@ -88,6 +90,7 @@ pub fn pool(threads: usize) -> Arc<ThreadPool> {
         threads.min(MAX_THREADS)
     };
     let mut pools = POOLS
+        // uniq-analyzer: allow(hot-path-alloc) — the registry Vec is built once per process (and grown once per distinct pool size); steady-state calls only read it
         .get_or_init(|| Mutex::new(Vec::new()))
         .lock()
         .expect("pool registry poisoned");

@@ -150,8 +150,10 @@ impl ThreadPool {
             .map(|idx| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
+                    // uniq-analyzer: allow(hot-path-alloc) — thread names are formatted once at pool construction; pools are cached per size for the life of the process
                     .name(format!("uniq-par-{id}-{idx}"))
                     .spawn(move || worker_loop(shared, id, idx))
+                    // uniq-analyzer: allow(panic-reachability) — failing to spawn a worker at pool construction is unrecoverable; fail fast before any work is accepted
                     .expect("spawn pool worker")
             })
             .collect();
@@ -170,6 +172,7 @@ impl ThreadPool {
     }
 
     pub(crate) fn inject(&self, job: Job) {
+        // uniq-analyzer: allow(hot-path-alloc) — queue submission, one per spawned job; the deque's capacity is amortized across the batch
         self.shared.push(self.id, job);
     }
 
@@ -271,6 +274,7 @@ impl ThreadPool {
                     buckets
                         .lock()
                         .expect("par_map buckets poisoned")
+                        // uniq-analyzer: allow(hot-path-alloc) — one push per chunk into a Vec pre-sized with with_capacity; never reallocates mid-batch
                         .push((index, values));
                 });
             }

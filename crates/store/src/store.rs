@@ -225,6 +225,7 @@ impl Store {
             uniq_obs::counter(names::STORE_DEDUP_HITS, 1);
             return Ok(PutOutcome {
                 key,
+                // uniq-analyzer: allow(lock-order) — `bytes.len()` is Vec::len, not Store::len; no lock re-entry on this line
                 bytes: bytes.len() as u64,
                 deduped: true,
             });

@@ -187,6 +187,7 @@ impl Sink for TelemetrySink {
             }
             Event::Counter { name, delta } => {
                 if ALL_METRICS.contains(name) {
+                    // uniq-analyzer: allow(lock-order) — match arms are mutually exclusive; each arm's shard guard drops at arm end, so two acquisitions are never live together
                     let mut shard = self.shard().lock().expect("telemetry shard poisoned");
                     *shard.counters.entry(name).or_insert(0) += delta;
                 } else {

@@ -10,10 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== uniq-analyzer (determinism / panic-safety / unsafe-audit) =="
-# Hard gate: exits nonzero on any unsuppressed error-severity finding.
-# JSON output keeps the failure machine-readable for tooling on top.
-cargo run -q -p uniq-analyzer -- check --format json
+echo "== uniq-analyzer (line-local rules + call-graph dataflow, 10s budget) =="
+# Hard gate: exits nonzero on any unsuppressed error-severity finding,
+# line-local or interprocedural (determinism taint, panic reachability,
+# lock order, hot-path allocation). The run self-times via the obs
+# stopwatch and warns on stderr past the wall-time budget; the JSON
+# findings report (schema 1) lands in bench_results/ for tooling.
+cargo run -q -p uniq-analyzer -- check \
+  --out bench_results/analyzer_findings.json --budget-seconds 10
 
 echo "== cargo test (UNIQ_THREADS=1) =="
 UNIQ_THREADS=1 cargo test -q --workspace
