@@ -30,7 +30,8 @@ use uniq_profile::ProfileSink;
 use uniq_subjects::Subject;
 
 /// Schema stamp on `BENCH_BASELINE.json` (bump on shape changes).
-pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+/// v2 added the `alloc` section (per-stage allocation gates).
+pub const BASELINE_SCHEMA_VERSION: u64 = 2;
 
 /// Default relative tolerance for quality numbers: tight, because they
 /// are deterministic functions of the seeds — the slack only absorbs
@@ -64,6 +65,11 @@ pub struct BaselineSpec {
     /// Angles where personalized HRIRs are correlated against the
     /// subject's ground truth, degrees.
     pub sim_angles: Vec<f64>,
+    /// Pool sizes the allocation profile is measured at; per-stage alloc
+    /// count/bytes must be bit-identical across all of them (the hard
+    /// memory gate). Only used when the `uniq-memprof` counting allocator
+    /// is installed in the running binary.
+    pub alloc_threads: Vec<usize>,
 }
 
 impl BaselineSpec {
@@ -77,6 +83,7 @@ impl BaselineSpec {
             snr_db: 45.0,
             aoa_angles: vec![20.0, 60.0, 100.0, 140.0],
             sim_angles: vec![0.0, 45.0, 90.0, 135.0, 180.0],
+            alloc_threads: vec![1, 8],
         }
     }
 
@@ -91,6 +98,7 @@ impl BaselineSpec {
             snr_db: 45.0,
             aoa_angles: vec![60.0],
             sim_angles: vec![90.0],
+            alloc_threads: vec![1, 2],
         }
     }
 
@@ -189,9 +197,122 @@ fn hrir_similarity(
     sum / spec.sim_angles.len() as f64
 }
 
+/// Measures the allocation profile of the spec's personalize workload at
+/// `threads`: one unmeasured run first (prewarming the pool, lazy tables,
+/// and span-name slots), then the measured run under a
+/// [`uniq_memprof::StageTrackingSink`] so spans stay enabled for stage
+/// attribution even without another sink. Meaningful only when the
+/// `uniq-memprof` counting allocator is installed in the running binary
+/// (the snapshot is empty otherwise). Counters are process-global — the
+/// caller serializes gate-grade measurements.
+pub fn alloc_profile(spec: &BaselineSpec, threads: usize) -> uniq_memprof::AllocSnapshot {
+    let cfg = spec.config(threads);
+    let subject = Subject::from_seed(spec.seed);
+    let sink = Arc::new(uniq_memprof::StageTrackingSink);
+    uniq_obs::with_sink(sink, || {
+        personalize_with_retry(&subject, &cfg, spec.seed, 3).expect("baseline personalize failed");
+        let (_, snap) = uniq_memprof::measure(|| {
+            personalize_with_retry(&subject, &cfg, spec.seed, 3)
+                .expect("baseline personalize failed")
+        });
+        snap
+    })
+}
+
+/// Measures the allocation profile at each of `spec.alloc_threads` and
+/// evaluates the thread-invariance predicate, with *steady-state
+/// settlement*: if the first pass diverges, the whole matrix is measured
+/// once more in the same process and the second pass is the verdict.
+///
+/// The settlement exists because process-lifetime lazy initialization —
+/// a pool queue growing to its high-water mark, a thread-local stack's
+/// first growth past its initial capacity — can allocate exactly once on
+/// a scheduling-dependent path, and *which* measured run pays that
+/// one-time cost is scheduler noise, not workload. A second pass cannot
+/// pay it again, so the gate measures the steady state it documents; a
+/// genuine regression (an allocation whose per-stage count varies with
+/// the thread count) diverges on every pass and still fails hard.
+pub fn alloc_profile_matrix(
+    spec: &BaselineSpec,
+) -> (Vec<(usize, uniq_memprof::AllocSnapshot)>, bool) {
+    let measure = || -> Vec<(usize, uniq_memprof::AllocSnapshot)> {
+        spec.alloc_threads
+            .iter()
+            .map(|&t| (t, alloc_profile(spec, t)))
+            .collect()
+    };
+    let settled = |snaps: &[(usize, uniq_memprof::AllocSnapshot)]| {
+        snaps.iter().all(|(_, s)| alloc_invariant(&snaps[0].1, s))
+    };
+    let mut snaps = measure();
+    let mut invariant = settled(&snaps);
+    if !invariant {
+        snaps = measure();
+        invariant = settled(&snaps);
+    }
+    (snaps, invariant)
+}
+
+/// Whether two snapshots agree bit-for-bit on the deterministic columns
+/// (per-stage allocation count and bytes) — the thread-invariance
+/// predicate behind the hard memory gate. Frees, peaks, and the
+/// unattributed row are deliberately excluded (scheduling-dependent).
+pub fn alloc_invariant(a: &uniq_memprof::AllocSnapshot, b: &uniq_memprof::AllocSnapshot) -> bool {
+    a.stages.len() == b.stages.len()
+        && a.stages
+            .iter()
+            .zip(&b.stages)
+            .all(|((ka, sa), (kb, sb))| ka == kb && sa.allocs == sb.allocs && sa.bytes == sb.bytes)
+}
+
+/// Renders the baseline document's `alloc` section from the snapshots
+/// measured at each of `spec.alloc_threads` (first snapshot provides the
+/// recorded numbers; `thread_invariant` reports the in-run cross-thread
+/// hard gate).
+fn alloc_section_json(
+    spec: &BaselineSpec,
+    snaps: &[(usize, uniq_memprof::AllocSnapshot)],
+    invariant: bool,
+) -> String {
+    let first = &snaps[0].1;
+    let total = first.total();
+    let stages = first
+        .stages
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "{{\"name\": \"{}\", \"allocs\": {}, \"bytes\": {}, \"peak_live_bytes\": {}}}",
+                json_escape(name),
+                s.allocs,
+                s.bytes,
+                s.peak_live_bytes
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n    \"thread_counts\": [{}],\n    \"thread_invariant\": {},\n    \
+         \"total_allocs\": {},\n    \"total_bytes\": {},\n    \"peak_live_bytes\": {},\n    \
+         \"stages\": [{}]\n  }}",
+        spec.alloc_threads
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        invariant,
+        total.allocs,
+        total.bytes,
+        first.peak_live_bytes,
+        stages,
+    )
+}
+
 /// Runs the workload matrix and renders the baseline document. Quality
 /// numbers are pure functions of the spec's seeds; perf numbers are
-/// wall-clock measurements of this machine.
+/// wall-clock measurements of this machine. The `alloc` section appears
+/// only when the `uniq-memprof` counting allocator is installed (the
+/// `baseline` and `uniq` binaries install it; in-process test harnesses
+/// usually do not).
 pub fn run_baseline(spec: &BaselineSpec) -> String {
     let mut quality: Vec<(String, String)> = Vec::new();
     let mut perf: Vec<(String, String)> = Vec::new();
@@ -289,6 +410,19 @@ pub fn run_baseline(spec: &BaselineSpec) -> String {
         ));
     }
 
+    // --- allocation profile, measured at each alloc thread count. Gated
+    // on the counting allocator actually being installed: without it the
+    // snapshots would be all-zero and the gate meaningless.
+    let alloc_section = if uniq_memprof::installed() {
+        let (snaps, invariant) = alloc_profile_matrix(spec);
+        format!(
+            ",\n  \"alloc\": {}",
+            alloc_section_json(spec, &snaps, invariant)
+        )
+    } else {
+        String::new()
+    };
+
     let fields = |pairs: &[(String, String)]| {
         pairs
             .iter()
@@ -300,7 +434,7 @@ pub fn run_baseline(spec: &BaselineSpec) -> String {
         "{{\n  \"schema_version\": {BASELINE_SCHEMA_VERSION},\n  \"meta\": {{\n    \
          \"seed\": {},\n    \"batch_subjects\": {},\n    \"thread_counts\": [{}],\n    \
          \"grid_step_deg\": {},\n    \"snr_db\": {},\n    \"build\": \"{}\"\n  }},\n  \
-         \"quality\": {{\n{}\n  }},\n  \"perf\": {{\n{},\n    \"stages\": {}\n  }}\n}}\n",
+         \"quality\": {{\n{}\n  }},\n  \"perf\": {{\n{},\n    \"stages\": {}\n  }}{}\n}}\n",
         spec.seed,
         spec.batch_subjects,
         spec.thread_counts
@@ -314,6 +448,7 @@ pub fn run_baseline(spec: &BaselineSpec) -> String {
         fields(&quality),
         fields(&perf),
         stages_json,
+        alloc_section,
     )
 }
 
@@ -414,6 +549,84 @@ fn compare_stages(baseline: &Json, fresh: &Json, tol: f64, report: &mut CompareR
     }
 }
 
+/// The two-tier memory gate over the documents' `alloc` sections:
+///
+/// - **Hard** (quality failures): per-stage and total alloc count/bytes
+///   must match *bit-identically* — they are pure functions of the
+///   workload — and `thread_invariant` must hold in the fresh run. A
+///   baseline with an alloc section also demands one from the fresh run.
+/// - **Warn** (perf warnings, promoted by `--strict`): peak-live growth
+///   beyond `perf_tol` — peak overlap is scheduling-dependent, so only
+///   growth is flagged and only as advisory.
+///
+/// A baseline without an alloc section skips the gate entirely (documents
+/// produced without the counting allocator installed).
+fn compare_alloc(baseline: &Json, fresh: &Json, perf_tol: f64, report: &mut CompareReport) {
+    let Some(base) = baseline.get("alloc") else {
+        return;
+    };
+    let Some(got) = fresh.get("alloc") else {
+        report.quality_failures.push(
+            "alloc: section missing from fresh run (counting allocator not installed?)".into(),
+        );
+        return;
+    };
+    if got.get("thread_invariant") != Some(&Json::Bool(true)) {
+        report.quality_failures.push(
+            "alloc.thread_invariant: fresh run's per-stage allocations vary with the thread count"
+                .into(),
+        );
+    }
+    for key in ["total_allocs", "total_bytes"] {
+        let (e, g) = (
+            base.get(key).and_then(Json::as_u64),
+            got.get(key).and_then(Json::as_u64),
+        );
+        if e != g {
+            report
+                .quality_failures
+                .push(format!("alloc.{key}: baseline {e:?} vs fresh {g:?}"));
+        }
+    }
+    let base_stages = base.get("stages").and_then(Json::as_array).unwrap_or(&[]);
+    let fresh_stages = got.get("stages").and_then(Json::as_array).unwrap_or(&[]);
+    for stage in base_stages {
+        let Some(name) = stage.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(other) = fresh_stages
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            report
+                .quality_failures
+                .push(format!("alloc.stages.{name}: missing from fresh run"));
+            continue;
+        };
+        for field in ["allocs", "bytes"] {
+            let (e, g) = (
+                stage.get(field).and_then(Json::as_u64),
+                other.get(field).and_then(Json::as_u64),
+            );
+            if e != g {
+                report.quality_failures.push(format!(
+                    "alloc.stages.{name}.{field}: baseline {e:?} vs fresh {g:?}"
+                ));
+            }
+        }
+    }
+    if let (Some(e), Some(g)) = (
+        base.get("peak_live_bytes").and_then(Json::as_f64),
+        got.get("peak_live_bytes").and_then(Json::as_f64),
+    ) {
+        if e > 0.0 && g > e * (1.0 + perf_tol) {
+            report.perf_warnings.push(format!(
+                "alloc.peak_live_bytes: baseline {e} vs fresh {g} (growth beyond {perf_tol})"
+            ));
+        }
+    }
+}
+
 /// Diffs a fresh baseline document against the checked-in one. Returns
 /// `Err` only for structural problems (unparseable document, schema
 /// mismatch) — those are hard failures too.
@@ -455,6 +668,7 @@ pub fn compare(
         &mut report.perf_warnings,
     );
     compare_stages(&base_perf, &fresh_perf, perf_tol, &mut report);
+    compare_alloc(baseline, fresh, perf_tol, &mut report);
     Ok(report)
 }
 
@@ -598,6 +812,101 @@ mod tests {
                 .any(|f| f.contains("stages.personalize")),
             "vanished stage not flagged: {r:?}"
         );
+    }
+
+    /// A baseline document with an alloc section appended.
+    fn doc_with_alloc(bytes: u64, peak: u64, invariant: bool) -> Json {
+        let base = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let alloc = Json::parse(&format!(
+            r#"{{
+              "thread_counts": [1, 8],
+              "thread_invariant": {invariant},
+              "total_allocs": 10,
+              "total_bytes": {bytes},
+              "peak_live_bytes": {peak},
+              "stages": [{{"name": "personalize", "allocs": 10, "bytes": {bytes}, "peak_live_bytes": {peak}}}]
+            }}"#
+        ))
+        .unwrap();
+        let Json::Obj(mut members) = base else {
+            unreachable!()
+        };
+        members.push(("alloc".into(), alloc));
+        Json::Obj(members)
+    }
+
+    #[test]
+    fn alloc_exact_match_compares_clean() {
+        let a = doc_with_alloc(4096, 2048, true);
+        let r = compare(&a, &a, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r, CompareReport::default());
+        assert!(r.passes(true));
+    }
+
+    #[test]
+    fn alloc_byte_drift_is_a_hard_failure() {
+        // One byte of drift fails: the columns are bit-identical by contract.
+        let base = doc_with_alloc(4096, 2048, true);
+        let fresh = doc_with_alloc(4097, 2048, true);
+        let r = compare(&base, &fresh, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("alloc.total_bytes")),
+            "{r:?}"
+        );
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("alloc.stages.personalize.bytes")),
+            "{r:?}"
+        );
+        assert!(!r.passes(false));
+    }
+
+    #[test]
+    fn alloc_peak_growth_warns_and_strict_promotes() {
+        let base = doc_with_alloc(4096, 2048, true);
+        let fresh = doc_with_alloc(4096, 4000, true); // ~2× peak, same totals
+        let r = compare(&base, &fresh, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(r.quality_failures.is_empty(), "{r:?}");
+        assert!(
+            r.perf_warnings
+                .iter()
+                .any(|w| w.contains("alloc.peak_live_bytes")),
+            "{r:?}"
+        );
+        assert!(r.passes(false));
+        assert!(!r.passes(true), "--strict must promote the peak warning");
+        // Shrinking peak is never flagged.
+        let shrunk = doc_with_alloc(4096, 100, true);
+        let r = compare(&base, &shrunk, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r, CompareReport::default());
+    }
+
+    #[test]
+    fn alloc_thread_variance_and_missing_section_fail() {
+        let base = doc_with_alloc(4096, 2048, true);
+        let varying = doc_with_alloc(4096, 2048, false);
+        let r = compare(&base, &varying, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("thread_invariant")),
+            "{r:?}"
+        );
+        // Baseline gated, fresh not instrumented → hard failure.
+        let bare = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let r = compare(&base, &bare, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("alloc: section missing")),
+            "{r:?}"
+        );
+        // No alloc section in the baseline → gate skipped entirely.
+        let r = compare(&bare, &base, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r, CompareReport::default());
     }
 
     #[test]

@@ -21,6 +21,13 @@ use uniq_bench::baseline::{
 use uniq_profile::json::Json;
 use uniq_telemetry::ledger::{self, LedgerRecord};
 
+/// The counting allocator: always installed in this binary (recording is
+/// off until a measurement starts, so non-alloc commands pay only a
+/// relaxed atomic load per allocation), which is what lets `run`/`bless`
+/// emit the baseline document's `alloc` section.
+#[global_allocator]
+static ALLOC: uniq_memprof::CountingAllocator = uniq_memprof::CountingAllocator::new();
+
 fn usage() -> String {
     "baseline — pinned-workload benchmark baselines and the CI regression gate\n\
      \n\

@@ -1,0 +1,65 @@
+//! Allocation profile of the pinned personalize workload: per-stage
+//! allocation counts/bytes at each thread count of the baseline matrix,
+//! with the thread-invariance verdict.
+//!
+//! Writes `bench_results/alloc_profile.json` (one snapshot per thread
+//! count plus the invariance flag) and `bench_results/alloc_profile.csv`
+//! (the t=1 snapshot in the `AllocSnapshot::to_csv` column layout).
+//!
+//! Requires the counting allocator — the `experiments` binary installs
+//! it; when absent (another embedder) the experiment reports that and
+//! writes nothing rather than publishing all-zero numbers.
+
+use crate::baseline::{alloc_profile_matrix, BaselineSpec};
+use std::path::Path;
+
+/// Runs the profile sweep; returns the invariance verdict (`None` when
+/// the counting allocator is not installed).
+pub fn run() -> Option<bool> {
+    println!("\n== Allocation profile: per-stage heap traffic, personalize ==");
+    if !uniq_memprof::installed() {
+        println!("  counting allocator not installed in this binary — skipped");
+        return None;
+    }
+    let spec = BaselineSpec::pinned();
+    println!("  measuring at {:?} thread(s)…", spec.alloc_threads);
+    let (snaps, invariant) = alloc_profile_matrix(&spec);
+    let (_, first) = &snaps[0];
+    let total = first.total();
+    println!(
+        "  t={}: {} allocs, {} bytes, peak live {} bytes",
+        snaps[0].0, total.allocs, total.bytes, first.peak_live_bytes
+    );
+    println!(
+        "  per-stage counts bit-identical across thread counts {:?}: {}",
+        spec.alloc_threads,
+        if invariant { "yes" } else { "NO" }
+    );
+
+    let json = {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", spec.seed));
+        out.push_str(&format!("  \"thread_invariant\": {invariant},\n"));
+        out.push_str("  \"runs\": [\n");
+        for (i, (threads, snap)) in snaps.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {threads}, \"snapshot\": {}}}{}\n",
+                snap.to_json().trim_end(),
+                if i + 1 < snaps.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    };
+    std::fs::create_dir_all(crate::RESULTS_DIR).expect("create bench_results");
+    let json_path = Path::new(crate::RESULTS_DIR).join("alloc_profile.json");
+    std::fs::write(&json_path, json).expect("write alloc_profile.json");
+    println!("  → wrote {}", json_path.display());
+
+    // The CSV column layout is the snapshot's own; write the t=1 run (the
+    // invariance check just proved the deterministic columns equal).
+    let csv_path = Path::new(crate::RESULTS_DIR).join("alloc_profile.csv");
+    std::fs::write(&csv_path, first.to_csv()).expect("write alloc_profile.csv");
+    println!("  → wrote {}", csv_path.display());
+    Some(invariant)
+}

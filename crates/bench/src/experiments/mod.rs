@@ -4,6 +4,7 @@
 //! prints the paper-shaped result table, and writes CSV artifacts.
 
 pub mod ablations;
+pub mod alloc_profile;
 pub mod batch_scaling;
 pub mod extensions;
 pub mod fig16;

@@ -53,7 +53,7 @@ pub fn exit_code<T>(result: &Result<T, String>) -> i32 {
 fn run_observed(
     args: &Args,
     extra: Option<Arc<dyn Sink>>,
-    dispatch_fn: fn(&Args) -> Result<String, String>,
+    dispatch_fn: impl FnOnce(&Args) -> Result<String, String>,
 ) -> Result<String, String> {
     let trace = args.switch("trace");
     let metrics_out = args.get("metrics-out");
@@ -551,6 +551,85 @@ fn profile_with(
     }
 }
 
+/// `uniq memprof [profile] [faults] <command> …`: runs the wrapped
+/// command under the counting allocator and appends the per-stage
+/// allocation table to its output. `--alloc-out FILE` writes the
+/// machine-readable snapshot JSON, `--alloc-flame-out FILE`
+/// bytes-weighted collapsed-stack lines (call paths when composed with
+/// `profile`, bare stage frames otherwise). Composes with every
+/// observability flag; when `profile` is in the stack the latency table
+/// grows allocs/alloc-bytes columns and `--profile-out` JSON an `alloc`
+/// section.
+pub fn run_memprof(args: &Args, profiled: bool, faulted: bool) -> Result<String, String> {
+    if !uniq_memprof::installed() {
+        return Err(
+            "memprof: the counting allocator is not installed in this binary (build the `uniq` \
+             binary, whose main.rs declares it as #[global_allocator])"
+                .to_string(),
+        );
+    }
+    let dispatch_fn: fn(&Args) -> Result<String, String> =
+        if faulted { dispatch_faulted } else { dispatch };
+    let profile = profiled.then(|| Arc::new(ProfileSink::new()));
+    // Stage attribution rides on the span stack, and spans are inert with
+    // no sink installed — so a memory-only run installs the no-op
+    // stage-tracking sink.
+    let extra: Arc<dyn Sink> = match &profile {
+        Some(sink) => sink.clone(),
+        None => Arc::new(uniq_memprof::StageTrackingSink),
+    };
+    let mut snap = uniq_memprof::AllocSnapshot::default();
+    let result = run_observed(args, Some(extra), |args| {
+        // Measure the dispatch only (sink assembly and report rendering
+        // stay out), and emit the summary while the sinks are still
+        // installed so telemetry exports carry the alloc aggregates.
+        let (result, measured) = uniq_memprof::measure(|| dispatch_fn(args));
+        measured.emit_obs_summary();
+        snap = measured;
+        result
+    });
+    if let Some(path) = args.get("alloc-out") {
+        std::fs::write(Path::new(path), snap.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    match &profile {
+        Some(sink) => {
+            let mut report = sink.report();
+            report.attach_alloc(snap);
+            if let Some(path) = args.get("alloc-flame-out") {
+                std::fs::write(Path::new(path), report.alloc_collapsed_stacks())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            if let Some(path) = args.get("profile-out") {
+                std::fs::write(Path::new(path), report.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            if let Some(path) = args.get("flame-out") {
+                std::fs::write(Path::new(path), report.collapsed_stacks())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            result.map(|output| format!("{output}\n\n{}", report.render_table()))
+        }
+        None => {
+            if let Some(path) = args.get("alloc-flame-out") {
+                // No profiler, no call paths: one frame per stage.
+                let mut lines = String::new();
+                for (stage, alloc) in &snap.stages {
+                    if alloc.bytes > 0 {
+                        lines.push_str(&format!("{stage} {}\n", alloc.bytes));
+                    }
+                }
+                if snap.unattributed.bytes > 0 {
+                    lines.push_str(&format!("(unattributed) {}\n", snap.unattributed.bytes));
+                }
+                std::fs::write(Path::new(path), lines)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            result.map(|output| format!("{output}\n\n{}", snap.render_table()))
+        }
+    }
+}
+
 fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
         "personalize" => personalize_cmd(args),
@@ -712,6 +791,16 @@ pub fn usage() -> String {
      \x20     table (count/total/p50/p90/p99/max, per-thread attribution) and\n\
      \x20     optionally writes JSON (--profile-out) and collapsed-stack\n\
      \x20     flamegraph lines (--flame-out)\n\
+     \n\
+     memory profiling:\n\
+     \x20 memprof <command> [args...] [--alloc-out FILE] [--alloc-flame-out FILE]\n\
+     \x20     run any command under the counting allocator; prints a per-stage\n\
+     \x20     allocation table (allocs/bytes/frees/peak-live/largest, attributed\n\
+     \x20     to the active span) and optionally writes the snapshot JSON\n\
+     \x20     (--alloc-out) and bytes-weighted collapsed-stack lines\n\
+     \x20     (--alloc-flame-out); composes with profile and faults: `uniq\n\
+     \x20     memprof profile personalize …` adds alloc columns to the latency\n\
+     \x20     table and an alloc section to --profile-out JSON\n\
      \n\
      fault injection:\n\
      \x20 faults personalize --fault-plan SPEC [--fault-seed N] [--fault-retries R]\n\
@@ -1018,6 +1107,12 @@ mod tests {
     use super::*;
     use crate::args::Args;
 
+    /// The lib-test binary installs the counting allocator itself (the
+    /// `uniq` binary does this in its main.rs) so the memprof wrapper is
+    /// testable through the public entry points.
+    #[global_allocator]
+    static ALLOC: uniq_memprof::CountingAllocator = uniq_memprof::CountingAllocator::new();
+
     fn argv(s: &str) -> Args {
         let raw: Vec<String> = s.split_whitespace().map(String::from).collect();
         Args::parse(&raw, &["anechoic", "near", "trace", "no-skip"]).unwrap()
@@ -1171,6 +1266,85 @@ mod tests {
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&json).ok();
         std::fs::remove_file(&flame).ok();
+    }
+
+    #[test]
+    fn memprof_wraps_personalize_and_exports() {
+        let table = temp_path("mp.uniqhrtf");
+        let json = temp_path("mp_alloc.json");
+        let folded = temp_path("mp_alloc.folded");
+        let out = run_memprof(
+            &argv(&format!(
+                "personalize --seed 6 --out {} --anechoic --grid 15 --alloc-out {} \
+                 --alloc-flame-out {}",
+                table.display(),
+                json.display(),
+                folded.display()
+            )),
+            false,
+            false,
+        )
+        .expect("memprofed personalize");
+        assert!(out.contains("table written"), "command output lost: {out}");
+        assert!(out.contains("per-stage allocations:"), "no table: {out}");
+        assert!(out.contains("fusion"), "hot stage missing: {out}");
+
+        let doc =
+            uniq_profile::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(doc.get("stages").is_some(), "alloc JSON has no stages");
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(uniq_memprof::ALLOC_SCHEMA_VERSION)
+        );
+
+        // Flame lines are `frame[;frame]* bytes` with positive weights.
+        let lines = std::fs::read_to_string(&folded).unwrap();
+        assert!(!lines.is_empty());
+        for line in lines.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("line has no value");
+            assert!(
+                value.parse::<u64>().unwrap() > 0,
+                "zero-weight line {line:?}"
+            );
+        }
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&folded).ok();
+    }
+
+    #[test]
+    fn memprof_composes_with_profile() {
+        let table = temp_path("mpp.uniqhrtf");
+        let json = temp_path("mpp_prof.json");
+        let out = run_memprof(
+            &argv(&format!(
+                "personalize --seed 6 --out {} --anechoic --grid 15 --profile-out {}",
+                table.display(),
+                json.display()
+            )),
+            true,
+            false,
+        )
+        .expect("memprof profile personalize");
+        // Both tables, and the latency table grew the alloc columns.
+        assert!(
+            out.contains("per-stage wall clock:"),
+            "no latency table: {out}"
+        );
+        assert!(out.contains("alloc-b"), "no alloc columns: {out}");
+        assert!(
+            out.contains("per-stage allocations:"),
+            "no alloc table: {out}"
+        );
+
+        let doc =
+            uniq_profile::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let alloc = doc.get("alloc").expect("profile JSON has no alloc section");
+        assert!(alloc.get("stages").is_some());
+
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

@@ -5,6 +5,12 @@
 use uniq_cli::args::Args;
 use uniq_cli::commands;
 
+/// The counting allocator behind `uniq memprof` — installed
+/// unconditionally (recording stays off outside a measurement, costing
+/// one relaxed atomic load per allocation on every other command).
+#[global_allocator]
+static ALLOC: uniq_memprof::CountingAllocator = uniq_memprof::CountingAllocator::new();
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // `trace` and `history` take positional file arguments, which
@@ -22,25 +28,33 @@ fn main() {
         Some("analyze") => std::process::exit(commands::analyze_cmd(&raw[1..])),
         _ => {}
     }
-    // `profile` and `faults` wrap another command (`uniq profile faults
-    // personalize …`), so wrapper words are peeled off before Args::parse,
-    // which allows exactly one positional. Each wrapper may appear once,
-    // in either order.
+    // `profile`, `faults` and `memprof` wrap another command (`uniq
+    // memprof profile personalize …`), so wrapper words are peeled off
+    // before Args::parse, which allows exactly one positional. Each
+    // wrapper may appear once, in any order.
     let mut profiled = false;
     let mut faulted = false;
+    let mut memprofed = false;
     let mut rest: &[String] = &raw[..];
     loop {
         match rest.first().map(String::as_str) {
             Some("profile") if !profiled => profiled = true,
             Some("faults") if !faulted => faulted = true,
+            Some("memprof") if !memprofed => memprofed = true,
             _ => break,
         }
         rest = &rest[1..];
     }
-    if (profiled || faulted) && rest.is_empty() {
+    if (profiled || faulted || memprofed) && rest.is_empty() {
         eprintln!(
             "error: {} needs a command to run\n\n{}",
-            if faulted { "faults" } else { "profile" },
+            if faulted {
+                "faults"
+            } else if memprofed {
+                "memprof"
+            } else {
+                "profile"
+            },
             commands::usage()
         );
         std::process::exit(2);
@@ -52,11 +66,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = match (profiled, faulted) {
-        (true, true) => commands::run_profile_faults(&parsed),
-        (true, false) => commands::run_profile(&parsed),
-        (false, true) => commands::run_faults(&parsed),
-        (false, false) => commands::run(&parsed),
+    let result = if memprofed {
+        commands::run_memprof(&parsed, profiled, faulted)
+    } else {
+        match (profiled, faulted) {
+            (true, true) => commands::run_profile_faults(&parsed),
+            (true, false) => commands::run_profile(&parsed),
+            (false, true) => commands::run_faults(&parsed),
+            (false, false) => commands::run(&parsed),
+        }
     };
     // Buffered sinks installed process-wide must not lose their tail.
     uniq_obs::flush_global_sink();

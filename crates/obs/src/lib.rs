@@ -132,6 +132,14 @@ thread_local! {
     /// Open id-derivation frames on this thread (trace root, open spans,
     /// and lane forks installed by [`ObsContext::run`]/`run_indexed`).
     static ID_STACK: RefCell<Vec<IdFrame>> = const { RefCell::new(Vec::new()) };
+    /// Innermost open span name on this thread — the *stage* a memory
+    /// profiler attributes allocations to. A plain `Cell` of a `'static`
+    /// pointer so reading it from inside a global allocator hook is
+    /// allocation-free and re-entrancy-safe.
+    static STAGE: Cell<Option<&'static str>> = const { Cell::new(None) };
+    /// Non-zero while allocation attribution is suspended on this thread
+    /// (sink dispatch, pool bookkeeping): see [`suspend_alloc_stage`].
+    static STAGE_SUSPENDED: Cell<usize> = const { Cell::new(0) };
 }
 
 /// One frame of the id-derivation stack. `span` is the id reported as
@@ -201,6 +209,10 @@ fn derive_span_id(parent_key: u64, name: &str, seq: u64) -> u64 {
 /// active trace (or trace 0 when none is active).
 fn push_span_frame(name: &str) -> SpanIds {
     let trace = TRACE.with(|t| t.get());
+    // The id stack grows lazily per thread; how deep any one thread
+    // nests depends on which jobs it happened to run, so its growth is
+    // infrastructure, not workload.
+    let _quiet = suspend_alloc_stage();
     ID_STACK.with(|s| {
         let mut stack = s.borrow_mut();
         let (parent_span, parent_key, seq) = match stack.last_mut() {
@@ -249,6 +261,7 @@ pub fn trace(key: u64) -> TraceGuard {
     }
     let id = derive_trace_id(key);
     TRACE.with(|t| t.set(id));
+    let _quiet = suspend_alloc_stage();
     ID_STACK.with(|s| {
         s.borrow_mut().push(IdFrame {
             span: 0,
@@ -296,6 +309,76 @@ pub fn current_depth() -> usize {
     DEPTH.with(|d| d.get())
 }
 
+/// The stage a memory profiler should attribute an allocation made *right
+/// now, on this thread* to: the innermost open span's name, or `None`
+/// when no span is open or attribution is suspended (see
+/// [`suspend_alloc_stage`]). Allocation-free and re-entrancy-safe by
+/// construction — `uniq-memprof` calls this from inside its
+/// `#[global_allocator]` hook.
+#[inline]
+pub fn alloc_stage() -> Option<&'static str> {
+    if STAGE_SUSPENDED.with(|s| s.get()) != 0 {
+        return None;
+    }
+    STAGE.with(|s| s.get())
+}
+
+/// The innermost open span name regardless of suspension — the value a
+/// work-submission point (e.g. `uniq-par`'s `Scope::spawn`) captures and
+/// hands to the worker thread via [`with_alloc_stage`], so allocations a
+/// parallel closure makes are attributed to the same stage they would be
+/// attributed to when the closure runs inline. This is what makes
+/// per-stage allocation totals bit-identical across thread counts.
+#[inline]
+pub fn alloc_stage_handoff() -> Option<&'static str> {
+    STAGE.with(|s| s.get())
+}
+
+/// Suspends allocation attribution on this thread until the guard drops:
+/// [`alloc_stage`] returns `None` inside. Used around allocations that
+/// belong to *observability or scheduling infrastructure* — sink dispatch,
+/// pool queues, chunk buckets — whose shape legitimately varies with
+/// thread count or event arrival order. Excluding them keeps the
+/// per-stage allocation profile a pure function of the workload.
+#[must_use = "attribution resumes when the guard drops — bind it with `let _quiet = ...`"]
+pub fn suspend_alloc_stage() -> AllocStageSuspendGuard {
+    STAGE_SUSPENDED.with(|s| s.set(s.get() + 1));
+    AllocStageSuspendGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// RAII guard for suspended allocation attribution (see
+/// [`suspend_alloc_stage`]).
+#[derive(Debug)]
+pub struct AllocStageSuspendGuard {
+    /// Suspension is a thread-local count; the guard must drop on the
+    /// thread that created it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AllocStageSuspendGuard {
+    fn drop(&mut self) {
+        STAGE_SUSPENDED.with(|s| s.set(s.get().saturating_sub(1)));
+    }
+}
+
+/// Runs `f` with `stage` installed as this thread's allocation-attribution
+/// stage, restoring the previous value afterwards (exception safe). Worker
+/// pools call this with the value captured by [`alloc_stage_handoff`] at
+/// submission time; spans `f` opens override it as usual.
+pub fn with_alloc_stage<T>(stage: Option<&'static str>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<&'static str>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STAGE.with(|s| s.set(self.0));
+        }
+    }
+    let prev = STAGE.with(|s| s.replace(stage));
+    let _restore = Restore(prev);
+    f()
+}
+
 fn current_sink() -> Option<Arc<dyn Sink>> {
     let scoped = SCOPED.with(|s| s.borrow().last().cloned());
     scoped.or_else(|| GLOBAL_SINK.get().cloned())
@@ -334,7 +417,13 @@ pub fn with_sink<T>(sink: Arc<dyn Sink>, f: impl FnOnce() -> T) -> T {
             ACTIVE_SINKS.fetch_sub(1, Ordering::Relaxed);
         }
     }
-    SCOPED.with(|s| s.borrow_mut().push(sink));
+    {
+        // The scoped-sink stack grows lazily per thread; which worker
+        // first nests deep enough to trigger a growth is scheduling
+        // noise, so keep it out of the per-stage memory profile.
+        let _quiet = suspend_alloc_stage();
+        SCOPED.with(|s| s.borrow_mut().push(sink));
+    }
     ACTIVE_SINKS.fetch_add(1, Ordering::Relaxed);
     let _guard = Guard;
     f()
@@ -370,6 +459,7 @@ pub struct ObsContext {
     trace: u64,
     parent_span: u64,
     parent_key: u64,
+    stage: Option<&'static str>,
 }
 
 impl std::fmt::Debug for ObsContext {
@@ -405,6 +495,7 @@ pub fn capture() -> ObsContext {
         trace,
         parent_span,
         parent_key,
+        stage: alloc_stage_handoff(),
     }
 }
 
@@ -468,6 +559,7 @@ impl ObsContext {
                 v
             });
             let prev_len = ID_STACK.with(|s| {
+                let _quiet = suspend_alloc_stage();
                 let mut stack = s.borrow_mut();
                 let len = stack.len();
                 stack.push(IdFrame {
@@ -481,13 +573,17 @@ impl ObsContext {
                 prev_trace,
                 prev_len,
             };
-            f()
+            with_alloc_stage(self.stage, f)
         })
     }
 }
 
 fn dispatch(event: &Event) {
     if let Some(sink) = current_sink() {
+        // Sink internals (aggregation maps, buffers, labels) allocate in
+        // event-arrival order, which is scheduling noise — keep those
+        // allocations out of the per-stage memory profile.
+        let _quiet = suspend_alloc_stage();
         sink.on_event(event);
     }
 }
@@ -506,12 +602,14 @@ pub fn span(name: &'static str) -> SpanGuard {
         v
     });
     let ids = push_span_frame(name);
+    let prev_stage = STAGE.with(|s| s.replace(Some(name)));
     dispatch(&Event::SpanStart { name, depth, ids });
     SpanGuard {
         live: Some(LiveSpan {
             name,
             depth,
             ids,
+            prev_stage,
             start: Instant::now(),
         }),
     }
@@ -521,6 +619,7 @@ struct LiveSpan {
     name: &'static str,
     depth: usize,
     ids: SpanIds,
+    prev_stage: Option<&'static str>,
     start: Instant,
 }
 
@@ -541,6 +640,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            STAGE.with(|s| s.set(live.prev_stage));
             pop_span_frame(live.ids);
             dispatch(&Event::SpanEnd {
                 name: live.name,
@@ -836,6 +936,68 @@ mod tests {
             assert_eq!(item.parent, root.span, "lane child lost its true parent");
             assert_eq!(item.trace, root.trace);
         }
+    }
+
+    #[test]
+    fn alloc_stage_tracks_innermost_open_span() {
+        assert_eq!(alloc_stage(), None);
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink, || {
+            assert_eq!(alloc_stage(), None);
+            let _outer = span("outer");
+            assert_eq!(alloc_stage(), Some("outer"));
+            {
+                let _inner = span("inner");
+                assert_eq!(alloc_stage(), Some("inner"));
+            }
+            assert_eq!(alloc_stage(), Some("outer"));
+        });
+        assert_eq!(alloc_stage(), None);
+    }
+
+    #[test]
+    fn alloc_stage_suspension_nests_and_restores() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink, || {
+            let _s = span("stage");
+            {
+                let _quiet = suspend_alloc_stage();
+                assert_eq!(alloc_stage(), None);
+                // The raw handoff value still sees the span.
+                assert_eq!(alloc_stage_handoff(), Some("stage"));
+                {
+                    let _deeper = suspend_alloc_stage();
+                    assert_eq!(alloc_stage(), None);
+                }
+                assert_eq!(alloc_stage(), None, "inner drop ended outer suspension");
+            }
+            assert_eq!(alloc_stage(), Some("stage"));
+        });
+    }
+
+    #[test]
+    fn with_alloc_stage_installs_and_restores() {
+        assert_eq!(alloc_stage(), None);
+        with_alloc_stage(Some("carried"), || {
+            assert_eq!(alloc_stage(), Some("carried"));
+        });
+        assert_eq!(alloc_stage(), None);
+    }
+
+    #[test]
+    fn context_carries_stage_to_workers() {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink, || {
+            let _outer = span("outer");
+            let ctx = capture();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert_eq!(alloc_stage(), None);
+                    ctx.run(|| assert_eq!(alloc_stage(), Some("outer")));
+                    assert_eq!(alloc_stage(), None);
+                });
+            });
+        });
     }
 
     #[test]

@@ -77,6 +77,31 @@ pub const RENDER_EXTERNALIZATION_PROXY: &str = "render.externalization_proxy";
 /// `uniq-telemetry`).
 pub const OBS_TELEMETRY_OVERHEAD_NS: &str = "obs.telemetry_overhead_ns";
 
+// Allocation-profile names (`uniq-memprof`). The counters are sums over
+// *attributed* stages only, so their totals are a pure function of the
+// workload — bit-identical across runs and thread counts — and safe to
+// fold into the telemetry determinism key. The peak/unattributed metrics
+// are scheduling-dependent (see DESIGN.md §15) and are listed in
+// `uniq-telemetry`'s `TIMING_METRICS` so only their counts are keyed.
+
+/// Heap allocations attributed to pipeline stages during a profiled run
+/// (counter; deterministic).
+pub const ALLOC_TOTAL_COUNT: &str = "alloc.total_count";
+/// Bytes requested by stage-attributed allocations (counter;
+/// deterministic).
+pub const ALLOC_TOTAL_BYTES: &str = "alloc.total_bytes";
+/// Frees attributed to pipeline stages (counter).
+pub const ALLOC_TOTAL_FREES: &str = "alloc.total_frees";
+/// Process-wide peak of live (allocated minus freed) heap bytes while the
+/// profiler was enabled. Scheduling-dependent: warn-tier only.
+pub const ALLOC_PEAK_LIVE_BYTES: &str = "alloc.peak_live_bytes";
+/// Largest single stage-attributed allocation, bytes.
+pub const ALLOC_LARGEST_SINGLE_BYTES: &str = "alloc.largest_single_bytes";
+/// Bytes allocated with no stage attribution (no open span, or inside an
+/// attribution-suspended region). Harness and infrastructure noise:
+/// excluded from every determinism gate.
+pub const ALLOC_UNATTRIBUTED_BYTES: &str = "alloc.unattributed_bytes";
+
 /// Bytes written for one non-deduplicated artifact put.
 pub const STORE_PUT_BYTES: &str = "store.put_bytes";
 /// Puts answered by an existing blob (counter).
@@ -115,6 +140,12 @@ pub const ALL_METRICS: &[&str] = &[
     RENDER_CROSSFADE_SAMPLES,
     RENDER_EXTERNALIZATION_PROXY,
     OBS_TELEMETRY_OVERHEAD_NS,
+    ALLOC_TOTAL_COUNT,
+    ALLOC_TOTAL_BYTES,
+    ALLOC_TOTAL_FREES,
+    ALLOC_PEAK_LIVE_BYTES,
+    ALLOC_LARGEST_SINGLE_BYTES,
+    ALLOC_UNATTRIBUTED_BYTES,
     STORE_PUT_BYTES,
     STORE_DEDUP_HITS,
     STORE_ENTRIES,
@@ -161,6 +192,9 @@ pub const SPAN_STORE_PUT: &str = "store.put";
 pub const SPAN_STORE_GET: &str = "store.get";
 /// A full deep-verification sweep over the store.
 pub const SPAN_STORE_VERIFY: &str = "store.verify";
+/// Snapshot + summary emission of the allocation profiler (`uniq memprof`
+/// wrapper, after the wrapped command returns).
+pub const SPAN_ALLOC_SNAPSHOT: &str = "alloc.snapshot";
 
 /// Every span name the workspace may open (see [`ALL_METRICS`] for the
 /// covering test).
@@ -182,6 +216,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_STORE_PUT,
     SPAN_STORE_GET,
     SPAN_STORE_VERIFY,
+    SPAN_ALLOC_SNAPSHOT,
 ];
 
 /// The spans whose enclosing code is a *hot path*: per-iteration work

@@ -1,7 +1,8 @@
 //! # uniq-par
 //!
-//! A zero-dependency scoped work-stealing thread pool for the UNIQ
-//! personalization pipeline. The build environment has no crates.io
+//! A scoped work-stealing thread pool for the UNIQ personalization
+//! pipeline, built on `std` alone (plus `uniq-obs` for allocation
+//! attribution — see below). The build environment has no crates.io
 //! access, so this crate implements the small subset of rayon's surface
 //! the workspace needs — [`ThreadPool::scope`]/[`Scope::spawn`], a chunked
 //! [`ThreadPool::par_map`], and panic propagation — from scratch on
@@ -24,6 +25,22 @@
 //!
 //! Pools are deduplicated by size through [`pool`], and the default size
 //! comes from `UNIQ_THREADS` or the machine's available parallelism.
+//!
+//! ## Allocation attribution
+//!
+//! `uniq-memprof` attributes every heap allocation to the active
+//! `uniq-obs` span. For per-stage totals to be bit-identical across
+//! thread counts — the memory-determinism hard gate — this pool does two
+//! things:
+//!
+//! 1. [`Scope::spawn`] captures the submitting thread's stage
+//!    ([`uniq_obs::alloc_stage_handoff`]) into the job and reinstalls it
+//!    on the worker, so a parallel closure's allocations land on the same
+//!    stage they land on when the closure runs inline on the caller.
+//! 2. Pool-owned allocations whose shape varies with thread count — job
+//!    boxes, queue growth, chunk buckets, result concatenation — sit
+//!    inside [`uniq_obs::suspend_alloc_stage`] regions and stay out of
+//!    the per-stage profile entirely.
 
 #![warn(missing_docs)]
 
@@ -89,6 +106,9 @@ pub fn pool(threads: usize) -> Arc<ThreadPool> {
     } else {
         threads.min(MAX_THREADS)
     };
+    // Registry growth and pool construction (worker stacks, queues) are
+    // one-time infrastructure cost, not stage work.
+    let _quiet = uniq_obs::suspend_alloc_stage();
     let mut pools = POOLS
         // uniq-analyzer: allow(hot-path-alloc) — the registry Vec is built once per process (and grown once per distinct pool size); steady-state calls only read it
         .get_or_init(|| Mutex::new(Vec::new()))

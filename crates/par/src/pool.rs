@@ -188,7 +188,15 @@ impl ThreadPool {
     /// finished. If any task panicked, the first captured panic is
     /// re-raised here (after all tasks completed, so borrows stay sound).
     pub fn scope<'env, T>(&'env self, f: impl FnOnce(&Scope<'env>) -> T) -> T {
-        let state = Arc::new(ScopeState::new());
+        // Scope bookkeeping is pool infrastructure: unsuspended, its Arc
+        // allocation would be charged to the caller's open stage in the
+        // parallel path only (the sequential fast path never builds a
+        // scope), breaking the thread-count invariance of per-stage
+        // allocation totals.
+        let state = {
+            let _quiet = uniq_obs::suspend_alloc_stage();
+            Arc::new(ScopeState::new())
+        };
         let scope = Scope::new(self, state.clone());
         let result = {
             // Block until the scope drains even if `f` itself panics:
@@ -260,25 +268,47 @@ impl ThreadPool {
         F: Fn(&T) -> U + Sync,
     {
         assert!(chunk >= 1, "chunk size must be at least 1");
+        // Output-collection Vecs are pool infrastructure: their count and
+        // sizes depend on the chunking, not the workload, so they are
+        // allocated under suspended attribution on *both* paths — per-item
+        // work inside `f` is all the memory profiler sees, which keeps
+        // per-stage allocation totals identical at any thread count.
         if self.threads == 1 || items.len() <= chunk {
-            return items.iter().map(f).collect();
+            let mut out = {
+                let _quiet = uniq_obs::suspend_alloc_stage();
+                Vec::with_capacity(items.len())
+            };
+            for item in items {
+                // uniq-analyzer: allow(hot-path-alloc) — pushes into Vecs pre-sized with with_capacity (here and per chunk below); never reallocates mid-batch
+                out.push(f(item));
+            }
+            return out;
         }
-        let buckets: Mutex<Vec<(usize, Vec<U>)>> =
-            Mutex::new(Vec::with_capacity(items.len() / chunk + 1));
+        let buckets: Mutex<Vec<(usize, Vec<U>)>> = {
+            let _quiet = uniq_obs::suspend_alloc_stage();
+            Mutex::new(Vec::with_capacity(items.len() / chunk + 1))
+        };
         self.scope(|s| {
             for (index, run) in items.chunks(chunk).enumerate() {
                 let buckets = &buckets;
                 let f = &f;
                 s.spawn(move || {
-                    let values: Vec<U> = run.iter().map(f).collect();
+                    let mut values = {
+                        let _quiet = uniq_obs::suspend_alloc_stage();
+                        Vec::with_capacity(run.len())
+                    };
+                    for item in run {
+                        values.push(f(item));
+                    }
+                    let _quiet = uniq_obs::suspend_alloc_stage();
                     buckets
                         .lock()
                         .expect("par_map buckets poisoned")
-                        // uniq-analyzer: allow(hot-path-alloc) — one push per chunk into a Vec pre-sized with with_capacity; never reallocates mid-batch
                         .push((index, values));
                 });
             }
         });
+        let _quiet = uniq_obs::suspend_alloc_stage();
         let mut buckets = buckets.into_inner().expect("par_map buckets poisoned");
         // Ordered reduction: completion order is scheduling noise; index
         // order is the sequential truth.
@@ -303,6 +333,7 @@ impl ThreadPool {
         F: Fn(&T) -> Result<U, E> + Sync,
     {
         let results = self.par_map(items, f);
+        let _quiet = uniq_obs::suspend_alloc_stage();
         let mut out = Vec::with_capacity(results.len());
         for result in results {
             out.push(result?);

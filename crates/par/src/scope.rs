@@ -104,11 +104,21 @@ impl<'env> Scope<'env> {
     {
         self.state.task_started();
         let state = self.state.clone();
+        // Carry the submitting thread's allocation-attribution stage into
+        // the job, so the closure's allocations are attributed exactly as
+        // they would be running inline on the caller — the property that
+        // makes per-stage allocation totals thread-count-invariant. The
+        // job box and queue push themselves are pool infrastructure and
+        // stay unattributed.
+        let stage = uniq_obs::alloc_stage_handoff();
+        let _quiet = uniq_obs::suspend_alloc_stage();
         let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                state.store_panic(payload);
-            }
-            state.task_finished();
+            uniq_obs::with_alloc_stage(stage, || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                    state.store_panic(payload);
+                }
+                state.task_finished();
+            });
         });
         // SAFETY: the job is erased to 'static so it can sit in the
         // pool's 'static queues, but it never outlives 'env in practice:

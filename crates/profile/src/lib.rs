@@ -19,6 +19,14 @@
 //!   lines (`path;to;frame self_nanos`), ready for `flamegraph.pl` or any
 //!   compatible renderer.
 //!
+//! When a `uniq-memprof` [`uniq_memprof::AllocSnapshot`] is attached with
+//! [`ProfileReport::attach_alloc`], the same report additionally carries
+//! per-stage allocation counts/bytes: the table grows `allocs`/`alloc-b`
+//! columns, the JSON gains an `"alloc"` object, and
+//! [`ProfileReport::alloc_collapsed_stacks`] exports a *bytes*-weighted
+//! collapsed-stack view (same paths as the latency flame, weighted by
+//! allocated bytes instead of self time).
+//!
 //! Like every sink, profiling only observes: the pipeline's numeric
 //! output is bit-identical with or without a `ProfileSink` installed
 //! (asserted by the workspace `profiling` integration test).
@@ -214,6 +222,7 @@ impl ProfileSink {
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), *v))
                 .collect(),
+            alloc: None,
         }
     }
 }
@@ -360,12 +369,25 @@ pub struct ProfileReport {
     pub paths: Vec<PathProfile>,
     /// Counter totals, sorted by name.
     pub counters: BTreeMap<String, u64>,
+    /// Optional memory profile for the same run (see
+    /// [`ProfileReport::attach_alloc`]). `None` unless the process ran
+    /// with the `uniq-memprof` counting allocator enabled.
+    pub alloc: Option<uniq_memprof::AllocSnapshot>,
 }
 
 impl ProfileReport {
     /// Looks up one stage by span name.
     pub fn stage(&self, name: &str) -> Option<&StageProfile> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Attaches a memory profile captured over the same run. The table,
+    /// JSON and flame exporters then include allocation data; stages
+    /// present in the snapshot but absent from the latency profile (e.g.
+    /// allocations under a span the sink never saw) still appear in the
+    /// JSON via the embedded snapshot.
+    pub fn attach_alloc(&mut self, snapshot: uniq_memprof::AllocSnapshot) {
+        self.alloc = Some(snapshot);
     }
 
     /// The human-readable per-stage table (also the `Display` impl):
@@ -389,13 +411,17 @@ impl ProfileReport {
         let mut out = String::new();
         out.push_str("per-stage wall clock:\n");
         out.push_str(&format!(
-            "  {:<30} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "  {:<30} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
             "stage", "count", "total", "p50", "p90", "p99", "max"
         ));
+        if self.alloc.is_some() {
+            out.push_str(&format!(" {:>8} {:>12}", "allocs", "alloc-b"));
+        }
+        out.push('\n');
         for stage in &self.stages {
             let label = format!("{}{}", "  ".repeat(stage.depth), stage.name);
             out.push_str(&format!(
-                "  {:<30} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "  {:<30} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 label,
                 stage.count,
                 human_duration(stage.total_nanos),
@@ -404,6 +430,13 @@ impl ProfileReport {
                 human_duration(u128::from(stage.p99_nanos)),
                 human_duration(u128::from(stage.max_nanos)),
             ));
+            if let Some(snap) = &self.alloc {
+                match snap.stage(&stage.name) {
+                    Some(a) => out.push_str(&format!(" {:>8} {:>12}", a.allocs, a.bytes)),
+                    None => out.push_str(&format!(" {:>8} {:>12}", "-", "-")),
+                }
+            }
+            out.push('\n');
             if stage.threads.len() > 1 {
                 for row in &stage.threads {
                     let label = format!("{}[{}]", "  ".repeat(stage.depth + 1), row.thread);
@@ -434,6 +467,12 @@ impl ProfileReport {
             for (name, total) in &self.counters {
                 out.push_str(&format!("  {name:<30} {total}\n"));
             }
+        }
+        // The full memory table (frees, peak-live, largest, unattributed)
+        // follows the latency table so `uniq memprof profile <cmd>` shows
+        // both planes in one report.
+        if let Some(snap) = &self.alloc {
+            out.push_str(&snap.render_table());
         }
         out
     }
@@ -495,7 +534,16 @@ impl ProfileReport {
             }
             out.push_str(&format!("\n    \"{}\": {}", json_escape(name), total));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        // Additive: readers of schema 1 that ignore unknown keys keep
+        // working; the embedded object is exactly
+        // `uniq_memprof::AllocSnapshot::to_json` (its own schema stamp
+        // included), so both exporters stay in lockstep.
+        if let Some(snap) = &self.alloc {
+            out.push_str(",\n  \"alloc\": ");
+            out.push_str(snap.to_json().trim_end());
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -505,6 +553,41 @@ impl ProfileReport {
         let mut out = String::new();
         for p in &self.paths {
             out.push_str(&format!("{} {}\n", p.path, p.self_nanos));
+        }
+        out
+    }
+
+    /// Bytes-weighted collapsed-stack lines: the attached
+    /// [`uniq_memprof::AllocSnapshot`]'s per-stage allocated bytes mapped
+    /// onto this report's call paths (`path;to;stage bytes`), so the same
+    /// flamegraph tooling renders a memory flame next to the latency one.
+    ///
+    /// Per-stage bytes are attributed to the *hottest* latency path
+    /// ending in that stage (highest sample count, ties broken by
+    /// lexicographically smallest path — deterministic); stages the
+    /// latency profile never saw fall back to a bare `stage bytes` line.
+    /// Unattributed allocations (pool/sink infrastructure) appear as
+    /// `(unattributed) bytes`. Returns an empty string when no snapshot
+    /// is attached.
+    pub fn alloc_collapsed_stacks(&self) -> String {
+        let Some(snap) = &self.alloc else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (stage, alloc) in &snap.stages {
+            if alloc.bytes == 0 && alloc.allocs == 0 {
+                continue;
+            }
+            let best = self
+                .paths
+                .iter()
+                .filter(|p| p.path.rsplit(';').next() == Some(stage.as_str()))
+                .max_by(|a, b| a.count.cmp(&b.count).then_with(|| b.path.cmp(&a.path)));
+            let path = best.map(|p| p.path.as_str()).unwrap_or(stage.as_str());
+            out.push_str(&format!("{} {}\n", path, alloc.bytes));
+        }
+        if snap.unattributed.bytes > 0 {
+            out.push_str(&format!("(unattributed) {}\n", snap.unattributed.bytes));
         }
         out
     }
@@ -742,6 +825,98 @@ mod tests {
         assert_eq!(
             r.paths.iter().map(|p| p.path.as_str()).collect::<Vec<_>>(),
             vec!["outer", "outer;inner"]
+        );
+    }
+
+    /// A hand-built snapshot matching `feed_nested`'s stage names.
+    fn sample_alloc() -> uniq_memprof::AllocSnapshot {
+        let mut snap = uniq_memprof::AllocSnapshot::default();
+        snap.stages.insert(
+            "a".to_string(),
+            uniq_memprof::StageAlloc {
+                allocs: 3,
+                bytes: 768,
+                frees: 1,
+                freed_bytes: 256,
+                peak_live_bytes: 512,
+                largest_bytes: 512,
+            },
+        );
+        snap.stages.insert(
+            "root".to_string(),
+            uniq_memprof::StageAlloc {
+                allocs: 1,
+                bytes: 64,
+                ..Default::default()
+            },
+        );
+        snap.unattributed.allocs = 2;
+        snap.unattributed.bytes = 128;
+        snap.peak_live_bytes = 640;
+        snap
+    }
+
+    #[test]
+    fn attached_alloc_shows_in_table_and_json() {
+        let sink = ProfileSink::new();
+        feed_nested(&sink);
+        let mut report = sink.report();
+        let plain = report.render_table();
+        assert!(!plain.contains("alloc-b"), "columns must be opt-in");
+        report.attach_alloc(sample_alloc());
+        let table = report.render_table();
+        for needle in [
+            "alloc-b",
+            "allocs",
+            "768",
+            "per-stage allocations:",
+            "(unattributed)",
+        ] {
+            assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
+        }
+
+        let doc = json::Json::parse(&report.to_json()).expect("self-emitted JSON");
+        let alloc = doc.get("alloc").expect("alloc section present");
+        assert_eq!(
+            alloc.get("schema_version").unwrap().as_u64(),
+            Some(uniq_memprof::ALLOC_SCHEMA_VERSION)
+        );
+        let stages = alloc.get("stages").unwrap().as_array().unwrap();
+        let a = stages
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("a"))
+            .unwrap();
+        assert_eq!(a.get("bytes").unwrap().as_u64(), Some(768));
+        assert_eq!(alloc.get("peak_live_bytes").unwrap().as_u64(), Some(640));
+    }
+
+    #[test]
+    fn alloc_collapsed_stacks_weights_paths_by_bytes() {
+        let sink = ProfileSink::new();
+        feed_nested(&sink);
+        let mut report = sink.report();
+        assert_eq!(report.alloc_collapsed_stacks(), "");
+        let mut snap = sample_alloc();
+        // A stage the latency profile never saw: bare-line fallback.
+        snap.stages.insert(
+            "orphan.stage".to_string(),
+            uniq_memprof::StageAlloc {
+                allocs: 1,
+                bytes: 32,
+                ..Default::default()
+            },
+        );
+        report.attach_alloc(snap);
+        let collapsed = report.alloc_collapsed_stacks();
+        let lines: Vec<&str> = collapsed.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "root;a 768",
+                "orphan.stage 32",
+                "root 64",
+                "(unattributed) 128"
+            ]
         );
     }
 

@@ -61,6 +61,17 @@ pub struct LedgerRecord {
     /// Artifact-store summary of a run that persisted its result
     /// (`None` = nothing stored).
     pub store: Option<String>,
+    /// Attributed allocation count across all stages (0 = the run carried
+    /// no memory profile). Additive extension: absent in older records,
+    /// which parse to the zero defaults.
+    pub alloc_total_allocs: u64,
+    /// Attributed allocated bytes across all stages.
+    pub alloc_total_bytes: u64,
+    /// Process-wide peak live heap bytes while recording (warn tier —
+    /// scheduling-dependent).
+    pub alloc_peak_live_bytes: u64,
+    /// Per-stage attributed allocated bytes (the trended alloc columns).
+    pub stage_alloc_bytes: BTreeMap<String, f64>,
 }
 
 impl LedgerRecord {
@@ -79,6 +90,10 @@ impl LedgerRecord {
             stage_p99_ns: BTreeMap::new(),
             degradation: None,
             store: None,
+            alloc_total_allocs: 0,
+            alloc_total_bytes: 0,
+            alloc_peak_live_bytes: 0,
+            stage_alloc_bytes: BTreeMap::new(),
         }
     }
 
@@ -134,6 +149,27 @@ impl LedgerRecord {
                 rec.stage_p99_ns.insert(name.to_string(), p99);
             }
         }
+        // Baseline schema ≥ 2 carries an alloc section; absent in older
+        // documents (the record keeps its zero defaults).
+        if let Some(alloc) = doc.get("alloc") {
+            rec.alloc_total_allocs = alloc
+                .get("total_allocs")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            rec.alloc_total_bytes = alloc.get("total_bytes").and_then(Json::as_u64).unwrap_or(0);
+            rec.alloc_peak_live_bytes = alloc
+                .get("peak_live_bytes")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            for stage in alloc.get("stages").and_then(Json::as_array).unwrap_or(&[]) {
+                let Some(name) = stage.get("name").and_then(Json::as_str) else {
+                    continue;
+                };
+                if let Some(bytes) = stage.get("bytes").and_then(Json::as_f64) {
+                    rec.stage_alloc_bytes.insert(name.to_string(), bytes);
+                }
+            }
+        }
         Ok(rec)
     }
 
@@ -165,6 +201,18 @@ impl LedgerRecord {
         }
         if let Some(store) = &self.store {
             line.push_str(&format!(",\"store\":\"{}\"", json_escape(store)));
+        }
+        // Written only for runs that carried a memory profile, keeping
+        // alloc-less lines byte-identical to the pre-alloc format.
+        if self.alloc_total_allocs > 0 || self.alloc_total_bytes > 0 {
+            line.push_str(&format!(
+                ",\"alloc\":{{\"allocs\":{},\"bytes\":{},\"peak_live_bytes\":{},\
+                 \"stage_bytes\":{{{}}}}}",
+                self.alloc_total_allocs,
+                self.alloc_total_bytes,
+                self.alloc_peak_live_bytes,
+                map(&self.stage_alloc_bytes),
+            ));
         }
         line.push('}');
         line
@@ -215,6 +263,32 @@ impl LedgerRecord {
                 .and_then(Json::as_str)
                 .map(String::from),
             store: doc.get("store").and_then(Json::as_str).map(String::from),
+            alloc_total_allocs: doc
+                .get("alloc")
+                .and_then(|a| a.get("allocs"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            alloc_total_bytes: doc
+                .get("alloc")
+                .and_then(|a| a.get("bytes"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            alloc_peak_live_bytes: doc
+                .get("alloc")
+                .and_then(|a| a.get("peak_live_bytes"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            stage_alloc_bytes: doc
+                .get("alloc")
+                .and_then(|a| a.get("stage_bytes"))
+                .and_then(Json::as_object)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v)))
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 }
@@ -298,6 +372,11 @@ impl TrendReport {
 
     fn flag_latency(&mut self, finding: String) {
         self.findings.push(format!("latency warning: {finding}"));
+        self.exit_code = self.exit_code.max(1);
+    }
+
+    fn flag_alloc(&mut self, finding: String) {
+        self.findings.push(format!("alloc warning: {finding}"));
         self.exit_code = self.exit_code.max(1);
     }
 
@@ -407,6 +486,53 @@ pub fn trend(records: &[LedgerRecord], quality_tol: f64, latency_tol: f64) -> Tr
             ));
         }
     }
+
+    // Allocation columns, warn tier and growth-only like latency: a run's
+    // per-stage bytes are deterministic, but across revisions code changes
+    // legitimately move them — the trend only flags unexplained growth.
+    let mut alloc_series: Vec<(String, f64, Vec<f64>)> = vec![
+        (
+            "alloc_total_bytes".into(),
+            last.alloc_total_bytes as f64,
+            history
+                .iter()
+                .map(|r| r.alloc_total_bytes as f64)
+                .filter(|&v| v > 0.0)
+                .collect(),
+        ),
+        (
+            "alloc_peak_live_bytes".into(),
+            last.alloc_peak_live_bytes as f64,
+            history
+                .iter()
+                .map(|r| r.alloc_peak_live_bytes as f64)
+                .filter(|&v| v > 0.0)
+                .collect(),
+        ),
+    ];
+    for (stage, &bytes) in &last.stage_alloc_bytes {
+        alloc_series.push((
+            format!("alloc_bytes.{stage}"),
+            bytes,
+            history
+                .iter()
+                .filter_map(|r| r.stage_alloc_bytes.get(stage))
+                .copied()
+                .collect(),
+        ));
+    }
+    for (name, value, past) in alloc_series {
+        if past.is_empty() || value <= 0.0 {
+            continue;
+        }
+        let (med, mad) = median_mad(&past);
+        let threshold = (latency_tol * med).max(4.0 * mad);
+        if value > med + threshold {
+            report.flag_alloc(format!(
+                "{name}: {value} vs median {med} (threshold +{threshold:.6})"
+            ));
+        }
+    }
     report
 }
 
@@ -472,6 +598,21 @@ pub fn compare_last_two(
             }
         }
     }
+    if prev.alloc_total_bytes > 0
+        && last.alloc_total_bytes as f64 > prev.alloc_total_bytes as f64 * (1.0 + latency_tol)
+    {
+        report.flag_alloc(format!(
+            "alloc_total_bytes: {} → {}",
+            prev.alloc_total_bytes, last.alloc_total_bytes
+        ));
+    }
+    for (stage, &bytes) in &last.stage_alloc_bytes {
+        if let Some(&before) = prev.stage_alloc_bytes.get(stage) {
+            if before > 0.0 && bytes > before * (1.0 + latency_tol) {
+                report.flag_alloc(format!("alloc_bytes.{stage}: {before} → {bytes}"));
+            }
+        }
+    }
     report
 }
 
@@ -494,6 +635,10 @@ mod tests {
         let mut r = record("baseline", 4.5, 2.0);
         r.degradation = Some("dropped=1 retried=2".into());
         r.store = Some("key 00deadbeef00c0de, 1234 bytes, new".into());
+        r.alloc_total_allocs = 120;
+        r.alloc_total_bytes = 65536;
+        r.alloc_peak_live_bytes = 32768;
+        r.stage_alloc_bytes.insert("fusion".into(), 4096.0);
         let line = r.to_json_line();
         let parsed = LedgerRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(parsed, r);
@@ -556,6 +701,57 @@ mod tests {
     }
 
     #[test]
+    fn alloc_free_record_emits_no_alloc_key() {
+        let line = record("baseline", 4.5, 2.0).to_json_line();
+        assert!(!line.contains("\"alloc\""), "{line}");
+    }
+
+    #[test]
+    fn trend_warns_on_alloc_growth() {
+        let with_alloc = |bytes: u64| {
+            let mut r = record("baseline", 4.5, 2.0);
+            r.alloc_total_allocs = 100;
+            r.alloc_total_bytes = bytes;
+            r.stage_alloc_bytes.insert("fusion".into(), bytes as f64);
+            r
+        };
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| with_alloc(1000)).collect();
+        records.push(with_alloc(2000)); // 2× growth
+        let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
+        assert_eq!(report.exit_code, 1, "{report:?}");
+        assert!(report.render().contains("alloc warning"), "{report:?}");
+        // Identical alloc totals stay clean (bit-identical history).
+        let records: Vec<LedgerRecord> = (0..5).map(|_| with_alloc(1000)).collect();
+        assert_eq!(
+            trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL).exit_code,
+            0
+        );
+        // Shrinking is never flagged.
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| with_alloc(1000)).collect();
+        records.push(with_alloc(400));
+        assert_eq!(
+            trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL).exit_code,
+            0
+        );
+    }
+
+    #[test]
+    fn compare_flags_alloc_growth() {
+        let with_alloc = |bytes: u64| {
+            let mut r = record("baseline", 4.5, 2.0);
+            r.alloc_total_allocs = 100;
+            r.alloc_total_bytes = bytes;
+            r
+        };
+        let report = compare_last_two(&[with_alloc(1000), with_alloc(1501)], 0.02, 0.5);
+        assert_eq!(report.exit_code, 1, "{report:?}");
+        assert_eq!(
+            compare_last_two(&[with_alloc(1000), with_alloc(1000)], 0.02, 0.5).exit_code,
+            0
+        );
+    }
+
+    #[test]
     fn trend_ignores_other_labels_and_short_history() {
         let records = vec![record("batch", 9.9, 50.0), record("baseline", 4.5, 2.0)];
         let report = trend(&records, DEFAULT_QUALITY_TOL, DEFAULT_LATENCY_TOL);
@@ -591,6 +787,12 @@ mod tests {
                 "personalize_seconds_t1": 2.5,
                 "personalize_seconds_t4": 1.5,
                 "stages": [{"name": "fusion", "count": 1, "p50_ns": 1000, "p99_ns": 2000}]
+              },
+              "alloc": {
+                "total_allocs": 120,
+                "total_bytes": 65536,
+                "peak_live_bytes": 32768,
+                "stages": [{"name": "fusion", "allocs": 12, "bytes": 4096}]
               }
             }"#,
         )
@@ -603,6 +805,10 @@ mod tests {
         assert_eq!(rec.stage_p50_ns["fusion"], 1000.0);
         assert_eq!(rec.stage_p99_ns["fusion"], 2000.0);
         assert!(rec.wall_seconds > 0.0);
+        assert_eq!(rec.alloc_total_allocs, 120);
+        assert_eq!(rec.alloc_total_bytes, 65536);
+        assert_eq!(rec.alloc_peak_live_bytes, 32768);
+        assert_eq!(rec.stage_alloc_bytes["fusion"], 4096.0);
     }
 
     #[test]

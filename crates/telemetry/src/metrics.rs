@@ -23,7 +23,10 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use uniq_obs::names::{ALL_METRICS, ALL_SPANS, BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS};
+use uniq_obs::names::{
+    ALLOC_LARGEST_SINGLE_BYTES, ALLOC_PEAK_LIVE_BYTES, ALLOC_UNATTRIBUTED_BYTES, ALL_METRICS,
+    ALL_SPANS, BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS,
+};
 use uniq_obs::report::LogHistogram;
 use uniq_obs::sink::Sink;
 use uniq_obs::{Event, Stopwatch};
@@ -34,10 +37,20 @@ use uniq_obs::{Event, Stopwatch};
 /// mapping, only contention does.
 const SHARDS: usize = 17;
 
-/// Metric names whose *values* are wall-clock measurements. Their sample
-/// counts are deterministic but their values are not, so
-/// [`RegistrySnapshot::determinism_key`] covers only their counts.
-const TIMING_METRICS: &[&str] = &[BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS];
+/// Metric names whose *values* are wall-clock or scheduling-dependent
+/// measurements. Their sample counts are deterministic but their values
+/// are not, so [`RegistrySnapshot::determinism_key`] covers only their
+/// counts. The `alloc.*` entries are the memory-profile series whose
+/// values depend on thread interleaving (peak overlap, infrastructure
+/// allocation); the deterministic alloc totals arrive as *counters* and
+/// are covered in full.
+const TIMING_METRICS: &[&str] = &[
+    BATCH_SUBJECT_SECONDS,
+    OBS_TELEMETRY_OVERHEAD_NS,
+    ALLOC_PEAK_LIVE_BYTES,
+    ALLOC_LARGEST_SINGLE_BYTES,
+    ALLOC_UNATTRIBUTED_BYTES,
+];
 
 /// Streaming aggregate of one metric series: count, sum, min, max.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -39,6 +39,53 @@ grep -q "per-stage wall clock:" "$ci_tmp/profile.log"
 target/release/baseline verify-profile "$ci_tmp/profile.json"
 test -s "$ci_tmp/flame.txt"
 
+echo "== memprof smoke (allocation attribution, 1 and 4 threads) =="
+# The memprof wrapper must attribute allocations to pipeline stages at
+# any pool size, write the snapshot JSON, and compose with the profiler
+# (alloc columns in the latency table).
+for threads in 1 4; do
+  UNIQ_THREADS=$threads target/release/uniq memprof personalize --seed 6 \
+    --out "$ci_tmp/mp_hrtf" --anechoic --grid 15 \
+    --alloc-out "$ci_tmp/alloc_$threads.json" > "$ci_tmp/memprof.log"
+  grep -q "per-stage allocations:" "$ci_tmp/memprof.log"
+  grep -q "fusion" "$ci_tmp/memprof.log"
+  test -s "$ci_tmp/alloc_$threads.json"
+done
+target/release/uniq memprof profile personalize --seed 6 \
+  --out "$ci_tmp/mp_hrtf" --anechoic --grid 15 > "$ci_tmp/memprof_prof.log"
+grep -q "alloc-b" "$ci_tmp/memprof_prof.log"
+
+echo "== allocator overhead (memprof-wrapped vs bare personalize) =="
+# The counting allocator must be effectively free: even with recording
+# on, the wrapped run stays near the bare run (which pays one relaxed
+# atomic load per allocation). Best-of-3 to shave scheduler noise; the
+# 5% target is warn-tier, 25% is the hard CI ceiling.
+best_of_3_ns() {
+  local best=""
+  for _ in 1 2 3; do
+    local t0 t1 dt
+    t0=$(date +%s%N)
+    "$@" > /dev/null
+    t1=$(date +%s%N)
+    dt=$((t1 - t0))
+    if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+  done
+  echo "$best"
+}
+bare_ns=$(best_of_3_ns env UNIQ_THREADS=1 target/release/uniq personalize \
+  --seed 6 --out "$ci_tmp/ov_hrtf" --anechoic --grid 15)
+prof_ns=$(best_of_3_ns env UNIQ_THREADS=1 target/release/uniq memprof personalize \
+  --seed 6 --out "$ci_tmp/ov_hrtf" --anechoic --grid 15)
+overhead_pct=$(awk -v b="$bare_ns" -v p="$prof_ns" \
+  'BEGIN { printf "%.1f", (p - b) * 100.0 / b }')
+echo "allocator overhead: ${overhead_pct}% (bare ${bare_ns}ns, memprof ${prof_ns}ns)"
+if ! awk -v o="$overhead_pct" 'BEGIN { exit !(o < 25.0) }'; then
+  echo "allocator overhead ${overhead_pct}% exceeds the 25% CI ceiling" >&2
+  exit 1
+fi
+awk -v o="$overhead_pct" 'BEGIN { exit !(o < 5.0) }' \
+  || echo "warning: allocator overhead ${overhead_pct}% exceeds the 5% target"
+
 echo "== fault-matrix smoke (every fault class, 1 and 4 threads) =="
 # Each injectable fault class at its default (preset) intensity must
 # degrade gracefully: the wrapped personalize completes with exit 0 and

@@ -198,6 +198,12 @@ fn every_emitted_name_is_registered() {
         uniq_render::motion::render_with_motion(&engine, &scene, &poses, &sig, 256, 64);
         uniq_render::metrics::compare(&out, &out, sample_rate);
 
+        // Memory profiler: summarizing a snapshot emits the alloc.* span,
+        // counters and metrics. (This test binary does not install the
+        // counting allocator, so the snapshot is empty — the audit checks
+        // names, not values.)
+        uniq_memprof::snapshot().emit_obs_summary();
+
         // Artifact store: put (twice, so the dedup counter fires), get,
         // and a deep verify exercise every store.* span and metric.
         let root = std::env::temp_dir().join(format!("uniq_obs_store_{}", std::process::id()));
