@@ -30,8 +30,9 @@ use uniq_profile::ProfileSink;
 use uniq_subjects::Subject;
 
 /// Schema stamp on `BENCH_BASELINE.json` (bump on shape changes).
-/// v2 added the `alloc` section (per-stage allocation gates).
-pub const BASELINE_SCHEMA_VERSION: u64 = 2;
+/// v2 added the `alloc` section (per-stage allocation gates); v3 the
+/// `serve` section (server response-fingerprint and admission gates).
+pub const BASELINE_SCHEMA_VERSION: u64 = 3;
 
 /// Default relative tolerance for quality numbers: tight, because they
 /// are deterministic functions of the seeds — the slack only absorbs
@@ -70,6 +71,11 @@ pub struct BaselineSpec {
     /// memory gate). Only used when the `uniq-memprof` counting allocator
     /// is installed in the running binary.
     pub alloc_threads: Vec<usize>,
+    /// Shard workers of the serve workload's in-process server.
+    pub serve_shards: usize,
+    /// Subjects the serve workload requests — each twice (repeat ratio
+    /// 1.0), so cache hits are pinned to exactly this count.
+    pub serve_subjects: u64,
 }
 
 impl BaselineSpec {
@@ -84,6 +90,8 @@ impl BaselineSpec {
             aoa_angles: vec![20.0, 60.0, 100.0, 140.0],
             sim_angles: vec![0.0, 45.0, 90.0, 135.0, 180.0],
             alloc_threads: vec![1, 8],
+            serve_shards: 2,
+            serve_subjects: 2,
         }
     }
 
@@ -99,6 +107,8 @@ impl BaselineSpec {
             aoa_angles: vec![60.0],
             sim_angles: vec![90.0],
             alloc_threads: vec![1, 2],
+            serve_shards: 1,
+            serve_subjects: 1,
         }
     }
 
@@ -307,6 +317,70 @@ fn alloc_section_json(
     )
 }
 
+/// Runs the pinned serve workload — an in-process sharded server over a
+/// scratch result store, driven by the deterministic closed-loop load
+/// generator at repeat ratio 1.0 (every subject requested twice, so the
+/// second hit of each is a store lookup) — and renders the document's
+/// `serve` section. Fingerprint, request, cache-hit, and shed counts are
+/// exact functions of the spec; throughput and latency are wall clock.
+fn serve_section_json(spec: &BaselineSpec) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Unique per call: the quick test runs two baselines in one process
+    // and each must start from a cold store.
+    static CALL: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "uniq_baseline_serve_{}_{}",
+        std::process::id(),
+        CALL.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = uniq_serve::ServeConfig {
+        shards: spec.serve_shards,
+        base: spec.config(1),
+        store_dir: Some(root.clone()),
+        ..Default::default()
+    };
+    let server =
+        uniq_serve::Server::start("127.0.0.1:0", cfg).expect("start baseline serve workload");
+    let lg = uniq_serve::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        subjects: spec.serve_subjects,
+        seed_base: spec.seed,
+        clients: spec.serve_shards,
+        repeat: 1.0,
+        ..Default::default()
+    };
+    let report = uniq_serve::loadgen::run(&lg).expect("baseline loadgen failed");
+    let drain = server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert_eq!(
+        report.fingerprint_conflicts, 0,
+        "baseline serve workload returned conflicting fingerprints"
+    );
+    let fingerprint = uniq_serve::fold_fingerprints(&drain.fingerprints);
+    assert_eq!(
+        fingerprint,
+        uniq_serve::fold_fingerprints(&report.fingerprints),
+        "server and load generator disagree on the population fingerprint"
+    );
+    format!(
+        "{{\n    \"shards\": {},\n    \"subjects\": {},\n    \
+         \"fingerprint\": \"{:#018x}\",\n    \"requests\": {},\n    \
+         \"cache_hits\": {},\n    \"shed\": {},\n    \
+         \"subjects_per_second\": {},\n    \"p50_ms\": {},\n    \"p99_ms\": {}\n  }}",
+        spec.serve_shards,
+        spec.serve_subjects,
+        fingerprint,
+        drain.stats.requests,
+        drain.stats.cache_hits,
+        drain.stats.shed,
+        json_number(report.subjects_per_second),
+        json_number(report.p50_ms),
+        json_number(report.p99_ms),
+    )
+}
+
 /// Runs the workload matrix and renders the baseline document. Quality
 /// numbers are pure functions of the spec's seeds; perf numbers are
 /// wall-clock measurements of this machine. The `alloc` section appears
@@ -423,6 +497,10 @@ pub fn run_baseline(spec: &BaselineSpec) -> String {
         String::new()
     };
 
+    // --- the serve workload: sharded server + closed-loop load over a
+    // scratch store (see serve_section_json).
+    let serve_section = serve_section_json(spec);
+
     let fields = |pairs: &[(String, String)]| {
         pairs
             .iter()
@@ -434,7 +512,8 @@ pub fn run_baseline(spec: &BaselineSpec) -> String {
         "{{\n  \"schema_version\": {BASELINE_SCHEMA_VERSION},\n  \"meta\": {{\n    \
          \"seed\": {},\n    \"batch_subjects\": {},\n    \"thread_counts\": [{}],\n    \
          \"grid_step_deg\": {},\n    \"snr_db\": {},\n    \"build\": \"{}\"\n  }},\n  \
-         \"quality\": {{\n{}\n  }},\n  \"perf\": {{\n{},\n    \"stages\": {}\n  }}{}\n}}\n",
+         \"quality\": {{\n{}\n  }},\n  \"perf\": {{\n{},\n    \"stages\": {}\n  }}{},\n  \
+         \"serve\": {}\n}}\n",
         spec.seed,
         spec.batch_subjects,
         spec.thread_counts
@@ -449,6 +528,7 @@ pub fn run_baseline(spec: &BaselineSpec) -> String {
         fields(&perf),
         stages_json,
         alloc_section,
+        serve_section,
     )
 }
 
@@ -627,6 +707,58 @@ fn compare_alloc(baseline: &Json, fresh: &Json, perf_tol: f64, report: &mut Comp
     }
 }
 
+/// The serve gate over the documents' `serve` sections:
+///
+/// - **Hard** (quality failures): the population fingerprint and the
+///   request / cache-hit / shed counts must match *exactly* — they are
+///   pure functions of the pinned workload, so any drift means the
+///   server changed behavior (different results, a cache that stopped
+///   hitting, spurious shedding).
+/// - **Warn** (perf warnings, promoted by `--strict`): throughput and
+///   latency drift beyond `perf_tol` — wall clock is machine-dependent.
+///
+/// A baseline without a serve section skips the gate (pre-v3 documents).
+fn compare_serve(baseline: &Json, fresh: &Json, perf_tol: f64, report: &mut CompareReport) {
+    let Some(base) = baseline.get("serve") else {
+        return;
+    };
+    let Some(got) = fresh.get("serve") else {
+        report
+            .quality_failures
+            .push("serve: section missing from fresh run".into());
+        return;
+    };
+    for key in [
+        "fingerprint",
+        "shards",
+        "subjects",
+        "requests",
+        "cache_hits",
+        "shed",
+    ] {
+        let (e, g) = (base.get(key), got.get(key));
+        if e != g {
+            report
+                .quality_failures
+                .push(format!("serve.{key}: baseline {e:?} vs fresh {g:?}"));
+        }
+    }
+    for key in ["subjects_per_second", "p50_ms", "p99_ms"] {
+        let (Some(e), Some(g)) = (
+            base.get(key).and_then(Json::as_f64),
+            got.get(key).and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let d = rel_diff(e, g);
+        if d > perf_tol {
+            report.perf_warnings.push(format!(
+                "serve.{key}: baseline {e} vs fresh {g} (relative diff {d:.3} > {perf_tol})"
+            ));
+        }
+    }
+}
+
 /// Diffs a fresh baseline document against the checked-in one. Returns
 /// `Err` only for structural problems (unparseable document, schema
 /// mismatch) — those are hard failures too.
@@ -669,17 +801,26 @@ pub fn compare(
     );
     compare_stages(&base_perf, &fresh_perf, perf_tol, &mut report);
     compare_alloc(baseline, fresh, perf_tol, &mut report);
+    compare_serve(baseline, fresh, perf_tol, &mut report);
     Ok(report)
 }
 
 /// Whether two baseline documents carry bit-identical quality sections
-/// (the CI determinism check: two runs of the pinned workload must
-/// agree exactly).
+/// (the CI determinism check: two runs of the pinned workload must agree
+/// exactly). When either document has a `serve` section, its fingerprint
+/// is part of the identity too — the served population must reproduce
+/// bit-for-bit alongside the library-path numbers.
 pub fn quality_identical(a: &Json, b: &Json) -> bool {
-    match (a.get("quality"), b.get("quality")) {
+    let quality = match (a.get("quality"), b.get("quality")) {
         (Some(qa), Some(qb)) => qa == qb,
         _ => false,
-    }
+    };
+    let serve = match (a.get("serve"), b.get("serve")) {
+        (Some(sa), Some(sb)) => sa.get("fingerprint") == sb.get("fingerprint"),
+        (None, None) => true,
+        _ => false,
+    };
+    quality && serve
 }
 
 /// Validates a `--profile-out` JSON document: parseable, schema-stamped,
@@ -905,6 +1046,93 @@ mod tests {
             "{r:?}"
         );
         // No alloc section in the baseline → gate skipped entirely.
+        let r = compare(&bare, &base, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r, CompareReport::default());
+    }
+
+    /// A baseline document with a serve section appended.
+    fn doc_with_serve(fingerprint: &str, cache_hits: u64, p50_ms: f64) -> Json {
+        let base = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let serve = Json::parse(&format!(
+            r#"{{
+              "shards": 2,
+              "subjects": 2,
+              "fingerprint": "{fingerprint}",
+              "requests": 4,
+              "cache_hits": {cache_hits},
+              "shed": 0,
+              "subjects_per_second": 3.0,
+              "p50_ms": {p50_ms},
+              "p99_ms": {p50_ms}
+            }}"#
+        ))
+        .unwrap();
+        let Json::Obj(mut members) = base else {
+            unreachable!()
+        };
+        members.push(("serve".into(), serve));
+        Json::Obj(members)
+    }
+
+    #[test]
+    fn serve_exact_match_compares_clean() {
+        let a = doc_with_serve("0xfeedface", 2, 100.0);
+        let r = compare(&a, &a, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert_eq!(r, CompareReport::default());
+        assert!(quality_identical(&a, &a));
+    }
+
+    #[test]
+    fn serve_fingerprint_and_admission_drift_fail_hard() {
+        let base = doc_with_serve("0xfeedface", 2, 100.0);
+        // Fingerprint drift: even with maximal tolerance, hard failure.
+        let fresh = doc_with_serve("0xfeedfacf", 2, 100.0);
+        let r = compare(&base, &fresh, 1.0, 1.0).unwrap();
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("serve.fingerprint")),
+            "{r:?}"
+        );
+        assert!(!quality_identical(&base, &fresh));
+        // A cache that stopped hitting is behavior drift, not a perf swing.
+        let cold = doc_with_serve("0xfeedface", 0, 100.0);
+        let r = compare(&base, &cold, 1.0, 1.0).unwrap();
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("serve.cache_hits")),
+            "{r:?}"
+        );
+        // But cache_hits drift alone leaves the fingerprint identity intact.
+        assert!(quality_identical(&base, &cold));
+    }
+
+    #[test]
+    fn serve_latency_drift_warns_and_section_gates() {
+        let base = doc_with_serve("0xfeedface", 2, 100.0);
+        let slow = doc_with_serve("0xfeedface", 2, 400.0);
+        let r = compare(&base, &slow, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(r.quality_failures.is_empty(), "{r:?}");
+        assert!(
+            r.perf_warnings
+                .iter()
+                .any(|w| w.contains("serve.p50_ms") || w.contains("serve.p99_ms")),
+            "{r:?}"
+        );
+        assert!(r.passes(false));
+        assert!(!r.passes(true));
+        // Baseline gated, fresh without a serve section → hard failure.
+        let bare = doc(4.8, "0xdeadbeef", 1_000_000, 1.0);
+        let r = compare(&base, &bare, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
+        assert!(
+            r.quality_failures
+                .iter()
+                .any(|f| f.contains("serve: section missing")),
+            "{r:?}"
+        );
+        assert!(!quality_identical(&base, &bare));
+        // Pre-v3 baseline without a serve section → gate skipped.
         let r = compare(&bare, &base, DEFAULT_QUALITY_TOL, DEFAULT_PERF_TOL).unwrap();
         assert_eq!(r, CompareReport::default());
     }

@@ -80,6 +80,11 @@ fn main() {
             "store" => {
                 timings.time("store", store_scaling::run);
             }
+            "serve" => {
+                timings.time("serve", || {
+                    serve_scaling::run();
+                });
+            }
             "robustness" => {
                 timings.time("robustness", || {
                     robustness::run();

@@ -16,6 +16,7 @@ pub mod fig22;
 pub mod fig5;
 pub mod fig9;
 pub mod robustness;
+pub mod serve_scaling;
 pub mod store_scaling;
 
 use crate::cohort::{eval_config, run_cohort, VolunteerRun};

@@ -637,9 +637,171 @@ fn dispatch(args: &Args) -> Result<String, String> {
         "info" => info_cmd(args),
         "render" => render_cmd(args),
         "aoa" => aoa_cmd(args),
+        "serve" => serve_cmd(args),
+        "loadgen" => loadgen_cmd(args),
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
+}
+
+/// `uniq serve`: a long-running sharded personalization server. Prints
+/// the bound address immediately (and to `--addr-file` when given, so
+/// scripts binding port 0 can discover it), then blocks until a client
+/// sends a protocol `{"type":"shutdown"}` request, drains in-flight
+/// work, and reports totals. Exit is always clean (0) after a drain.
+fn serve_cmd(args: &Args) -> Result<String, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let shards = args.get_u64("shards", 2).map_err(|e| e.to_string())? as usize;
+    let queue_depth = args.get_u64("queue-depth", 32).map_err(|e| e.to_string())? as usize;
+    let grid = args.get_f64("grid", 5.0).map_err(|e| e.to_string())?;
+    let snr = args.get_f64("snr", 35.0).map_err(|e| e.to_string())?;
+    let base = UniqConfig {
+        in_room: !args.switch("anechoic"),
+        grid_step_deg: grid,
+        snr_db: snr,
+        ..UniqConfig::default()
+    };
+    let fault_hook = match args.get("fault-plan") {
+        Some(spec) => {
+            let fault_seed = args.get_u64("fault-seed", 42).map_err(|e| e.to_string())?;
+            let plan =
+                FaultPlan::parse(spec, fault_seed).map_err(|e| format!("--fault-plan: {e}"))?;
+            Some(Arc::new(plan) as Arc<dyn uniq_core::FaultHook + Send + Sync>)
+        }
+        None => None,
+    };
+    let cfg = uniq_serve::ServeConfig {
+        shards,
+        queue_depth,
+        base,
+        store_dir: args.get("store").map(std::path::PathBuf::from),
+        fault_hook,
+        ..uniq_serve::ServeConfig::default()
+    };
+    let cached = cfg.store_dir.is_some();
+
+    let sw = uniq_obs::Stopwatch::start();
+    let server = uniq_serve::Server::start(addr, cfg).map_err(|e| e.to_string())?;
+    let bound = server.local_addr();
+    // The address goes out *before* the blocking wait — it is how
+    // clients (and the CI smoke) find a port-0 server.
+    println!(
+        "serving on {bound} ({shards} shard(s), queue depth {queue_depth}, cache {})",
+        if cached { "on" } else { "off" }
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(Path::new(path), format!("{bound}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    server.wait_shutdown_requested();
+    let drain = server.shutdown();
+    let wall_seconds = sw.elapsed_seconds();
+
+    let stats = drain.stats;
+    let fingerprint = uniq_serve::fold_fingerprints(&drain.fingerprints);
+    let mut lines = vec![format!(
+        "serve drained after {wall_seconds:.3}s: {} request(s), {} ok, {} cached, \
+         {} computed, {} shed, {} error(s)\n\
+         {} subject(s), population fingerprint {fingerprint:#018x}",
+        stats.requests,
+        stats.ok,
+        stats.cache_hits,
+        stats.computed,
+        stats.shed,
+        stats.errors,
+        drain.fingerprints.len(),
+    )];
+    let mut record = LedgerRecord::new("serve");
+    record.threads = shards as u64;
+    record.wall_seconds = wall_seconds;
+    record.fingerprint = format!("{fingerprint:#018x}");
+    record
+        .quality
+        .insert("requests".into(), stats.requests as f64);
+    record.quality.insert("ok".into(), stats.ok as f64);
+    record
+        .quality
+        .insert("cache_hits".into(), stats.cache_hits as f64);
+    record.quality.insert("shed".into(), stats.shed as f64);
+    record.quality.insert("errors".into(), stats.errors as f64);
+    lines.extend(append_history(args, &record)?);
+    Ok(lines.join("\n"))
+}
+
+/// `uniq loadgen`: the deterministic closed-loop load harness. Drives a
+/// live server with a seeded subject population and prints throughput
+/// plus the p50/p99 request-latency table from `uniq-profile`.
+fn loadgen_cmd(args: &Args) -> Result<String, String> {
+    let parse_opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+        args.get(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("bad value {v:?} for --{key}"))
+            })
+            .transpose()
+    };
+    let cfg = uniq_serve::LoadgenConfig {
+        addr: args.require("addr").map_err(|e| e.to_string())?.to_string(),
+        subjects: args.get_u64("subjects", 8).map_err(|e| e.to_string())?,
+        seed_base: args.get_u64("seed", 42).map_err(|e| e.to_string())?,
+        clients: args.get_u64("clients", 4).map_err(|e| e.to_string())? as usize,
+        repeat: args.get_f64("repeat", 0.25).map_err(|e| e.to_string())?,
+        grid_step_deg: parse_opt_f64("grid")?,
+        snr_db: parse_opt_f64("snr")?,
+        anechoic: args.switch("anechoic").then_some(true),
+        no_cache: args.switch("no-cache"),
+        shutdown_after: args.switch("shutdown"),
+    };
+    let report = uniq_serve::loadgen::run(&cfg).map_err(|e| e.to_string())?;
+    if report.fingerprint_conflicts > 0 {
+        return Err(format!(
+            "server is non-deterministic: {} fingerprint conflict(s) across {} subject(s)",
+            report.fingerprint_conflicts,
+            report.fingerprints.len(),
+        ));
+    }
+    let fingerprint = uniq_serve::fold_fingerprints(&report.fingerprints);
+    let mut lines = vec![format!(
+        "loadgen {} request(s) over {} client(s) in {:.3}s: {} ok, {} cached, \
+         {} overloaded, {} error(s)\n\
+         {:.2} subjects/s, {:.2} requests/s, latency p50 {:.1}ms p99 {:.1}ms\n\
+         {} subject(s), population fingerprint {fingerprint:#018x}",
+        report.requests,
+        cfg.clients,
+        report.wall_seconds,
+        report.ok,
+        report.cache_hits,
+        report.overloaded,
+        report.errors,
+        report.subjects_per_second,
+        report.requests_per_second,
+        report.p50_ms,
+        report.p99_ms,
+        report.fingerprints.len(),
+    )];
+    lines.push(String::new());
+    lines.push(report.profile.render_table());
+    let mut record = LedgerRecord::new("loadgen");
+    record.seed = cfg.seed_base;
+    record.threads = cfg.clients as u64;
+    record.wall_seconds = report.wall_seconds;
+    record.fingerprint = format!("{fingerprint:#018x}");
+    record
+        .quality
+        .insert("subjects_per_second".into(), report.subjects_per_second);
+    record
+        .quality
+        .insert("cache_hits".into(), report.cache_hits as f64);
+    record
+        .quality
+        .insert("overloaded".into(), report.overloaded as f64);
+    record.quality.insert("p50_ms".into(), report.p50_ms);
+    record.quality.insert("p99_ms".into(), report.p99_ms);
+    lines.extend(append_history(args, &record)?);
+    Ok(lines.join("\n"))
 }
 
 fn dispatch_faulted(args: &Args) -> Result<String, String> {
@@ -761,6 +923,21 @@ pub fn usage() -> String {
      \x20 store export --store DIR --key KEY --out F.uniqhrtf\n\
      \x20 store import --store DIR --table F.uniqhrtf [--seed N]\n\
      \x20     round-trip artifacts through the .uniqhrtf text format\n\
+     \n\
+     serving:\n\
+     \x20 serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--store DIR]\n\
+     \x20       [--grid DEG] [--snr DB] [--anechoic] [--fault-plan SPEC]\n\
+     \x20       [--fault-seed N] [--addr-file FILE] [--history PATH]\n\
+     \x20     long-running sharded personalization server (line-delimited JSON\n\
+     \x20     over TCP); port 0 binds an ephemeral port, printed immediately and\n\
+     \x20     written to --addr-file; --store enables the content-addressed\n\
+     \x20     result cache; drains and exits 0 on a protocol shutdown request\n\
+     \x20 loadgen --addr HOST:PORT [--subjects N] [--seed BASE] [--clients N]\n\
+     \x20         [--repeat R] [--grid DEG] [--snr DB] [--anechoic] [--no-cache]\n\
+     \x20         [--shutdown] [--history PATH]\n\
+     \x20     seeded closed-loop load generator: N subjects over concurrent\n\
+     \x20     clients, fraction R re-requested to exercise the cache; prints\n\
+     \x20     throughput + p50/p99 latency; --shutdown stops the server after\n\
      \n\
      quality gates:\n\
      \x20 analyze [--strict] [--format text|json] [--out FILE] [--threads N]\n\

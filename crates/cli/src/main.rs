@@ -59,7 +59,12 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let parsed = match Args::parse(rest, &["anechoic", "near", "trace", "no-skip"]) {
+    let parsed = match Args::parse(
+        rest,
+        &[
+            "anechoic", "near", "trace", "no-skip", "no-cache", "shutdown",
+        ],
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::usage());

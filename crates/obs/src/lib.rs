@@ -384,6 +384,17 @@ fn current_sink() -> Option<Arc<dyn Sink>> {
     scoped.or_else(|| GLOBAL_SINK.get().cloned())
 }
 
+/// The sink events on this thread currently land in — the innermost
+/// [`with_sink`] scope, else the global sink; `None` when nothing is
+/// installed. Lets a caller *compose* with the ambient sink (fan out to
+/// it and a private sink through [`sink::MultiSink`]) instead of a nested
+/// [`with_sink`] scope silently shadowing it — `uniq loadgen` uses this
+/// to feed its latency profiler without stealing events from `--trace`
+/// or `--metrics-out`.
+pub fn ambient_sink() -> Option<Arc<dyn Sink>> {
+    current_sink()
+}
+
 /// Installs `sink` as the process-wide default. Returns `false` if a global
 /// sink was already installed (the first installation wins, as with a
 /// logger). Scoped sinks from [`with_sink`] still take precedence on their

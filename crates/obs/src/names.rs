@@ -102,6 +102,29 @@ pub const ALLOC_LARGEST_SINGLE_BYTES: &str = "alloc.largest_single_bytes";
 /// excluded from every determinism gate.
 pub const ALLOC_UNATTRIBUTED_BYTES: &str = "alloc.unattributed_bytes";
 
+// Personalization-server names (`uniq-serve`). The counters are pure
+// functions of the request stream (how many arrived, hit the cache, were
+// shed, failed), so the serve baseline section and the backpressure test
+// gate on them exactly; the request-seconds metric is wall clock and
+// lives in `uniq-telemetry`'s `TIMING_METRICS` (counts keyed, values
+// not).
+
+/// Personalize requests accepted off the wire (counter; excludes
+/// ping/stats/shutdown control frames).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Requests shed with an `overloaded` response because the target
+/// shard's bounded queue was full (counter).
+pub const SERVE_SHED: &str = "serve.shed";
+/// Requests answered from the content-addressed result cache — a store
+/// lookup instead of a pipeline run (counter).
+pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+/// Requests that produced a typed error response: malformed frames,
+/// bad fields, or a failed personalization (counter).
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Wall-clock seconds one served request spent in its shard worker
+/// (cache lookup or pipeline run; queue wait excluded).
+pub const SERVE_REQUEST_SECONDS: &str = "serve.request_seconds";
+
 /// Bytes written for one non-deduplicated artifact put.
 pub const STORE_PUT_BYTES: &str = "store.put_bytes";
 /// Puts answered by an existing blob (counter).
@@ -146,6 +169,11 @@ pub const ALL_METRICS: &[&str] = &[
     ALLOC_PEAK_LIVE_BYTES,
     ALLOC_LARGEST_SINGLE_BYTES,
     ALLOC_UNATTRIBUTED_BYTES,
+    SERVE_REQUESTS,
+    SERVE_SHED,
+    SERVE_CACHE_HITS,
+    SERVE_ERRORS,
+    SERVE_REQUEST_SECONDS,
     STORE_PUT_BYTES,
     STORE_DEDUP_HITS,
     STORE_ENTRIES,
@@ -195,6 +223,13 @@ pub const SPAN_STORE_VERIFY: &str = "store.verify";
 /// Snapshot + summary emission of the allocation profiler (`uniq memprof`
 /// wrapper, after the wrapped command returns).
 pub const SPAN_ALLOC_SNAPSHOT: &str = "alloc.snapshot";
+/// One request processed by a personalization-server shard worker
+/// (cache lookup or full pipeline run; wraps `personalize` on a miss).
+pub const SPAN_SERVE_REQUEST: &str = "serve.request";
+/// One closed-loop load-generator request, client side: serialize, send,
+/// and wait for the response line. The latency histogram `uniq loadgen`
+/// reports p50/p99 from aggregates over this span.
+pub const SPAN_LOADGEN_REQUEST: &str = "loadgen.request";
 
 /// Every span name the workspace may open (see [`ALL_METRICS`] for the
 /// covering test).
@@ -217,6 +252,8 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_STORE_GET,
     SPAN_STORE_VERIFY,
     SPAN_ALLOC_SNAPSHOT,
+    SPAN_SERVE_REQUEST,
+    SPAN_LOADGEN_REQUEST,
 ];
 
 /// The spans whose enclosing code is a *hot path*: per-iteration work

@@ -315,6 +315,20 @@ impl Store {
             .cloned()
     }
 
+    /// The first entry (in key order) matching a subject seed and config
+    /// hash — the *pre-computation* cache query. Unlike [`Store::lookup`],
+    /// which keys on the result fingerprint (only known after a pipeline
+    /// run), the seed is the subject's identity *before* personalization,
+    /// so a server can answer "has this subject already been personalized
+    /// under this exact config?" with a disk lookup instead of a run.
+    pub fn lookup_by_seed(&self, seed: u64, config_hash: u64) -> Option<IndexEntry> {
+        self.lock()
+            .entries
+            .values()
+            .find(|e| e.seed == seed && e.config_hash == config_hash)
+            .cloned()
+    }
+
     /// Number of distinct artifacts stored.
     pub fn len(&self) -> usize {
         self.lock().entries.len()

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use uniq_obs::names::{
     ALLOC_LARGEST_SINGLE_BYTES, ALLOC_PEAK_LIVE_BYTES, ALLOC_UNATTRIBUTED_BYTES, ALL_METRICS,
-    ALL_SPANS, BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS,
+    ALL_SPANS, BATCH_SUBJECT_SECONDS, OBS_TELEMETRY_OVERHEAD_NS, SERVE_REQUEST_SECONDS,
 };
 use uniq_obs::report::LogHistogram;
 use uniq_obs::sink::Sink;
@@ -50,6 +50,7 @@ const TIMING_METRICS: &[&str] = &[
     ALLOC_PEAK_LIVE_BYTES,
     ALLOC_LARGEST_SINGLE_BYTES,
     ALLOC_UNATTRIBUTED_BYTES,
+    SERVE_REQUEST_SECONDS,
 ];
 
 /// Streaming aggregate of one metric series: count, sum, min, max.

@@ -151,6 +151,40 @@ if target/release/uniq store get --store "$ci_tmp/store" \
   exit 1
 fi
 
+echo "== serve smoke (live server + loadgen drain, 1 and 4 threads) =="
+# A live sharded server must publish its ephemeral port, serve a seeded
+# population through the closed-loop harness with zero fingerprint
+# conflicts (loadgen exits nonzero on any), answer the repeat prefix
+# from the result cache, drain on the shutdown request, and print the
+# same population fingerprint at every pool size.
+for threads in 1 4; do
+  rm -f "$ci_tmp/serve_addr"
+  UNIQ_THREADS=$threads target/release/uniq serve --addr 127.0.0.1:0 \
+    --shards 2 --grid 15 --snr 45 --anechoic \
+    --store "$ci_tmp/serve_store_$threads" \
+    --addr-file "$ci_tmp/serve_addr" > "$ci_tmp/serve_$threads.log" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$ci_tmp/serve_addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$ci_tmp/serve_addr" ] || { echo "serve never published an address" >&2; exit 1; }
+  UNIQ_THREADS=$threads target/release/uniq loadgen \
+    --addr "$(cat "$ci_tmp/serve_addr")" --subjects 4 --clients 2 \
+    --shutdown > "$ci_tmp/loadgen_$threads.log"
+  wait "$serve_pid"
+  grep -q "serve drained" "$ci_tmp/serve_$threads.log"
+  grep -q " 2 cached," "$ci_tmp/loadgen_$threads.log"
+  grep -q "loadgen.request" "$ci_tmp/loadgen_$threads.log"
+done
+# Determinism across pool sizes: both runs served the same population and
+# must print the same fingerprint — with server and harness agreeing.
+fp() { awk '/population fingerprint/{print $NF}' "$1" | head -1; }
+[ "$(fp "$ci_tmp/loadgen_1.log")" = "$(fp "$ci_tmp/loadgen_4.log")" ] \
+  || { echo "serve fingerprint differs across pool sizes" >&2; exit 1; }
+[ "$(fp "$ci_tmp/serve_1.log")" = "$(fp "$ci_tmp/loadgen_1.log")" ] \
+  || { echo "server and loadgen disagree on the population fingerprint" >&2; exit 1; }
+
 echo "== baseline determinism (two runs, bit-identical quality) =="
 target/release/baseline run --out "$ci_tmp/fresh_a.json" --history "$ci_tmp/history.jsonl"
 target/release/baseline run --out "$ci_tmp/fresh_b.json" --history "$ci_tmp/history.jsonl"

@@ -215,6 +215,64 @@ fn every_emitted_name_is_registered() {
         assert!(store.verify().is_clean());
         drop(store);
         let _ = std::fs::remove_dir_all(&root);
+
+        // Serve layer: a live server under loadgen emits the
+        // serve.request span, admission/cache counters and the request
+        // timing metric, while the harness emits loadgen.request. A
+        // malformed line fires serve.errors, and a gated depth-1 queue
+        // fires serve.shed deterministically.
+        let serve_root =
+            std::env::temp_dir().join(format!("uniq_obs_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&serve_root);
+        let server = uniq_serve::Server::start(
+            "127.0.0.1:0",
+            uniq_serve::ServeConfig {
+                shards: 1,
+                base: cfg.clone(),
+                store_dir: Some(serve_root.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("start audit server");
+        uniq_serve::loadgen::run(&uniq_serve::LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            subjects: 1,
+            seed_base: 73,
+            clients: 1,
+            repeat: 1.0,
+            ..Default::default()
+        })
+        .expect("audit loadgen");
+        send_serve_line(server.local_addr(), "definitely not json");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&serve_root);
+
+        let gate = Arc::new(ObsGateHook::default());
+        let gated = uniq_serve::Server::start(
+            "127.0.0.1:0",
+            uniq_serve::ServeConfig {
+                shards: 1,
+                queue_depth: 1,
+                base: cfg.clone(),
+                fault_hook: Some(gate.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("start gated server");
+        let addr = gated.local_addr();
+        // A pinned in flight, B filling the queue, C shed.
+        let mut streams = Vec::new();
+        streams.push(send_serve_request(addr, 80));
+        wait_for("request A to reach the pipeline", || {
+            gate.arrivals.load(std::sync::atomic::Ordering::SeqCst) >= 1
+        });
+        streams.push(send_serve_request(addr, 81));
+        wait_for("request B to be queued", || gated.submitted() == 2);
+        send_serve_request(addr, 82);
+        wait_for("request C to be shed", || gated.stats().shed == 1);
+        gate.release();
+        drop(streams);
+        gated.shutdown();
     });
 
     let events = memory.events();
@@ -263,3 +321,81 @@ fn every_emitted_name_is_registered() {
         );
     }
 }
+
+/// Polls until `probe` holds — sequences the serve audit workload
+/// without sleeping for fixed durations.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    for _ in 0..2000 {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Writes one raw line to the serve socket and waits for the response
+/// line (a typed error for malformed input).
+fn send_serve_line(addr: std::net::SocketAddr, line: &str) {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to audit server");
+    stream.write_all(line.as_bytes()).expect("write line");
+    stream.write_all(b"\n").expect("write newline");
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .expect("read reply");
+    assert!(!reply.is_empty(), "server closed without responding");
+}
+
+/// Fires a personalize request and keeps the connection open so the
+/// reply has somewhere to land.
+fn send_serve_request(addr: std::net::SocketAddr, seed: u64) -> std::net::TcpStream {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to audit server");
+    stream
+        .write_all(format!("{{\"type\":\"personalize\",\"seed\":{seed}}}\n").as_bytes())
+        .expect("write request");
+    stream
+}
+
+/// Blocks every pipeline run at its first recording until released — a
+/// deterministic way to pin the gated server's single shard so the
+/// audit can fill its queue and observe a shed.
+#[derive(Debug, Default)]
+struct ObsGateHook {
+    open: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+    arrivals: std::sync::atomic::AtomicU64,
+}
+
+impl ObsGateHook {
+    fn release(&self) {
+        *self.open.lock().expect("gate poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+impl uniq_acoustics::measure::RecordingInjector for ObsGateHook {
+    fn corrupt_recording(
+        &self,
+        _site: uniq_acoustics::measure::InjectionSite,
+        _rec: &mut uniq_acoustics::measure::BinauralRecording,
+    ) -> Vec<&'static str> {
+        self.arrivals
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let mut open = self.open.lock().expect("gate poisoned");
+        while !*open {
+            open = self.cv.wait(open).expect("gate poisoned");
+        }
+        Vec::new()
+    }
+}
+
+impl uniq_imu::gyro::RateInjector for ObsGateHook {
+    fn corrupt_rates(&self, _rates_dps: &mut [f64], _dt: f64) -> Vec<&'static str> {
+        Vec::new()
+    }
+}
+
+impl uniq_core::FaultHook for ObsGateHook {}
